@@ -1,0 +1,58 @@
+"""E1 — Section 3 baseline semantics (Examples 3.1 and 3.2).
+
+Reproduces the paper's two worked examples of the classical semantics and
+benchmarks the two well-founded engines (the paper-faithful ``W_P``
+iteration vs the alternating Gelfond–Lifschitz fixpoint) on win/move games of
+growing size — the ablation called out in DESIGN.md.
+
+Run with::
+
+    pytest benchmarks/bench_e1_normal_semantics.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentRow, print_table
+from repro.core.semantics import normal_stable_models, normal_well_founded_model
+from repro.engine.grounding import relevant_ground_program
+from repro.engine.wellfounded import well_founded_model
+from repro.hilog.parser import parse_program, parse_term
+from repro.workloads.games import normal_game_program
+from repro.workloads.graphs import chain_edges, random_dag_edges
+
+EXAMPLE_31 = parse_program("p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u.")
+EXAMPLE_32 = parse_program("p :- not q. q :- not p. r :- p. r :- q. t :- p, not p.")
+
+
+def test_example_31_well_founded(benchmark):
+    model = benchmark(lambda: normal_well_founded_model(EXAMPLE_31))
+    assert model.is_true(parse_term("r"))
+    assert model.is_false(parse_term("t"))
+    assert model.is_undefined(parse_term("u"))
+    print_table(
+        "E1a  Example 3.1 well-founded model (paper: r,s true; p,q,t false; u undefined)",
+        ["atom", "value"],
+        [ExperimentRow(atom, {"value": model.value(parse_term(atom))})
+         for atom in ["p", "q", "r", "s", "t", "u"]],
+    )
+
+
+def test_example_32_stable_models(benchmark):
+    models = benchmark(lambda: normal_stable_models(EXAMPLE_32))
+    assert len(models) == 2
+    print_table(
+        "E1b  Example 3.2 stable models (paper: {p,r} and {q,r})",
+        ["model", "true atoms"],
+        [ExperimentRow("M%d" % index, {"true atoms": sorted(map(repr, model.true))})
+         for index, model in enumerate(models, start=1)],
+    )
+
+
+@pytest.mark.parametrize("nodes", [50, 200, 800])
+@pytest.mark.parametrize("engine", ["wp", "alternating"])
+def test_wfs_engine_ablation(benchmark, nodes, engine):
+    """Ablation: W_P iteration vs alternating fixpoint on win/move DAG games."""
+    program = normal_game_program(random_dag_edges(nodes, nodes * 2, seed=nodes))
+    ground = relevant_ground_program(program)
+    model = benchmark(lambda: well_founded_model(ground, engine=engine))
+    assert model.is_total()

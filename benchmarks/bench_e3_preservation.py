@@ -1,0 +1,84 @@
+"""E3 — Section 5: preservation under extensions vs domain independence.
+
+Reproduces Example 5.1 (domain independent but not preserved under
+extensions), Theorem 5.3 (range-restricted HiLog programs: WFS preserved),
+Theorem 5.4 (strongly range-restricted: stable semantics preserved) and the
+paper's counterexample showing Theorem 5.4 genuinely needs *strong* range
+restriction.
+
+Run with::
+
+    pytest benchmarks/bench_e3_preservation.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentRow, print_table
+from repro.core.domain_independence import check_domain_independence
+from repro.core.preservation import check_preservation_under_extensions, stable_over_universe
+from repro.hilog.parser import parse_program
+
+EXAMPLE_51 = parse_program("p :- X(Y), Y(X).")
+PAPER_EXTENSION = parse_program("q(r). r(q).")
+GAME = parse_program(
+    "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y). game(m). m(a, b). m(b, c)."
+)
+COUNTEREXAMPLE_54 = parse_program("X(a) :- X(X), not X(a).")
+
+
+def test_example_51_strictness(benchmark):
+    def run():
+        domain = check_domain_independence(EXAMPLE_51, trials=3)
+        preservation = check_preservation_under_extensions(
+            EXAMPLE_51, extensions=[PAPER_EXTENSION]
+        )
+        return domain, preservation
+
+    domain, preservation = benchmark(run)
+    assert domain.domain_independent
+    assert not preservation.preserved
+    print_table(
+        "E3a  Example 5.1: domain independence vs preservation (paper: yes / no)",
+        ["property", "holds"],
+        [ExperimentRow("domain independent", {"holds": domain.domain_independent}),
+         ExperimentRow("preserved under extensions", {"holds": preservation.preserved})],
+    )
+
+
+@pytest.mark.parametrize("trials", [5, 15])
+def test_theorem_53_range_restricted_wfs(benchmark, trials):
+    report = benchmark(lambda: check_preservation_under_extensions(
+        GAME, semantics="well_founded", trials=trials, seed=0,
+        extension_kwargs={"n_facts": 3, "n_rules": 1, "max_arity": 2},
+    ))
+    assert report.preserved
+    print_table(
+        "E3b  Theorem 5.3: WFS of the range-restricted game preserved under %d random extensions" % trials,
+        ["program", "preserved"],
+        [ExperimentRow("winning(M)(X) game", {"preserved": report.preserved})],
+    )
+
+
+def test_theorem_54_strong_range_restriction(benchmark):
+    def run():
+        strong = check_preservation_under_extensions(
+            parse_program("p(X) :- q(X), not r(X). q(a). r(b)."),
+            semantics="stable", trials=5, seed=1,
+            extension_kwargs={"n_facts": 2, "n_rules": 1, "max_arity": 1},
+        )
+        weak = check_preservation_under_extensions(
+            COUNTEREXAMPLE_54, semantics="stable", extensions=[parse_program("r(r).")]
+        )
+        return strong, weak
+
+    strong, weak = benchmark(run)
+    assert strong.preserved
+    assert not weak.preserved
+    assert stable_over_universe(COUNTEREXAMPLE_54 + parse_program("r(r).")) == []
+    print_table(
+        "E3c  Theorem 5.4 and its counterexample (paper: preserved / not preserved)",
+        ["program", "stable semantics preserved"],
+        [ExperimentRow("strongly range restricted", {"stable semantics preserved": strong.preserved}),
+         ExperimentRow("X(a) :- X(X), not X(a)  (range restricted only)",
+                       {"stable semantics preserved": weak.preserved})],
+    )

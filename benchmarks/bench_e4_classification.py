@@ -1,0 +1,54 @@
+"""E4 — Example 5.3: classification of clauses into the range-restriction classes.
+
+Reproduces the paper's table of nine clauses (strongly range restricted /
+range restricted / neither) and benchmarks the classifier on batches of
+generated rules.
+
+Run with::
+
+    pytest benchmarks/bench_e4_classification.py --benchmark-only -s
+"""
+
+from repro.analysis.report import ExperimentRow, print_table
+from repro.core.range_restriction import classify_rule
+from repro.hilog.parser import parse_rule
+from repro.workloads.random_programs import random_range_restricted_program
+
+EXAMPLE_5_3 = [
+    ("X(Y)(Z) :- p(X, Y, W), W(a)(Z), not W(b)(Z).", "strongly_range_restricted"),
+    ("p(X) :- X(a), q(X).", "strongly_range_restricted"),
+    ("tc(G, X, Y) :- graph(G), G(X, Y).", "strongly_range_restricted"),
+    ("X(Y)(Z) :- p(Y, Z, W), W(a)(Z), not X(b)(Z).", "range_restricted"),
+    ("tc(G)(X, Y) :- G(X, Y).", "range_restricted"),
+    ("not(X)() :- not X.", "range_restricted"),
+    ("X(Y)(Z) :- Z(X, Y, W), W(a)(Z), not W(b)(Z).", "unrestricted"),
+    ("p(X) :- X(a).", "unrestricted"),
+    ("tc(G, X, Y) :- G(X, Y).", "unrestricted"),
+    ("not(X) :- not X.", "unrestricted"),
+]
+
+
+def test_example_53_classification(benchmark):
+    rules = [(parse_rule(text), expected) for text, expected in EXAMPLE_5_3]
+
+    def run():
+        return [classify_rule(rule) for rule, _expected in rules]
+
+    observed = benchmark(run)
+    rows = []
+    for (text, expected), got in zip(EXAMPLE_5_3, observed):
+        assert got == expected, text
+        rows.append(ExperimentRow(text, {"paper": expected, "measured": got}))
+    print_table("E4  Example 5.3 clause classification", ["clause", "paper", "measured"], rows)
+
+
+def test_classifier_throughput(benchmark):
+    rules = []
+    for seed in range(40):
+        rules.extend(random_range_restricted_program(seed=seed, n_rules=6).proper_rules())
+
+    def run():
+        return sum(1 for rule in rules if classify_rule(rule) != "unrestricted")
+
+    restricted = benchmark(run)
+    assert restricted == len(rules)  # generated programs are range restricted

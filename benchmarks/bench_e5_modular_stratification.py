@@ -1,0 +1,98 @@
+"""E5 — Section 6: modular stratification for HiLog (Figure 1, Examples 6.1-6.5).
+
+Reproduces the classification of the paper's example programs (modularly
+stratified or not), Theorem 6.1 (the computed model is total and is the
+unique stable model), Lemma 6.2 (agreement with normal modular
+stratification) and benchmarks the Figure-1 procedure on game programs of
+growing size.
+
+Run with::
+
+    pytest benchmarks/bench_e5_modular_stratification.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis.report import ExperimentRow, print_table
+from repro.core.modular import modularly_stratified_for_hilog, perfect_model_for_hilog
+from repro.core.semantics import hilog_well_founded_model
+from repro.hilog.parser import parse_program
+from repro.normal.modular import modular_stratification
+from repro.workloads.games import hilog_game_program, normal_game_program
+from repro.workloads.graphs import chain_edges, cycle_edges, random_dag_edges
+
+EXAMPLE_63 = parse_program("""
+    winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).
+    game(move1). game(move2).
+    move1(a, b). move1(b, c). move2(x, y).
+""")
+EXAMPLE_64 = parse_program("""
+    p(X) :- t(X, Y, Z, p), not p(Y), not p(Z).
+    t(a, b, a, p). t(e, a, b, p).
+    p(b) :- t(X, Y, b, p).
+""")
+CYCLIC_GAME = hilog_game_program({"m": cycle_edges(3)})
+
+
+def test_paper_program_classification(benchmark):
+    def run():
+        return {
+            "Example 6.3 (acyclic games)": modularly_stratified_for_hilog(EXAMPLE_63),
+            "Example 6.4 (negative self-dependency)": modularly_stratified_for_hilog(EXAMPLE_64),
+            "Example 6.1/6.3 with a cyclic move relation": modularly_stratified_for_hilog(CYCLIC_GAME),
+        }
+
+    results = benchmark(run)
+    assert results["Example 6.3 (acyclic games)"].is_modularly_stratified
+    assert not results["Example 6.4 (negative self-dependency)"].is_modularly_stratified
+    assert not results["Example 6.1/6.3 with a cyclic move relation"].is_modularly_stratified
+    print_table(
+        "E5a  Modular stratification for HiLog (paper: yes / no / no)",
+        ["program", "modularly stratified", "rounds"],
+        [ExperimentRow(name, {"modularly stratified": result.is_modularly_stratified,
+                              "rounds": len(result.rounds)})
+         for name, result in results.items()],
+    )
+
+
+def test_theorem_61_total_model(benchmark):
+    model = benchmark(lambda: perfect_model_for_hilog(EXAMPLE_63))
+    wfs = hilog_well_founded_model(EXAMPLE_63)
+    assert model.is_total()
+    assert model.true == wfs.true
+    print_table(
+        "E5b  Theorem 6.1: Figure-1 model equals the (total) well-founded model",
+        ["quantity", "value"],
+        [ExperimentRow("atoms true in both", {"value": len(model.true)}),
+         ExperimentRow("model is total", {"value": model.is_total()})],
+    )
+
+
+@pytest.mark.parametrize("nodes", [20, 60, 150])
+def test_lemma_62_agreement_and_scaling(benchmark, nodes):
+    edges = random_dag_edges(nodes, nodes * 2, seed=nodes)
+    normal_program = normal_game_program(edges)
+    hilog_program = hilog_game_program({"m": edges})
+
+    def run():
+        return (
+            modular_stratification(normal_program),
+            modularly_stratified_for_hilog(hilog_program),
+        )
+
+    normal_result, hilog_result = benchmark(run)
+    assert normal_result.is_modularly_stratified
+    assert hilog_result.is_modularly_stratified
+    normal_wins = {repr(a) for a in normal_result.model.true if "winning" in repr(a)}
+    hilog_wins = {repr(a).replace("winning(m)", "winning") for a in hilog_result.model.true
+                  if "winning" in repr(a)}
+    assert {w.replace("winning(", "").rstrip(")") for w in normal_wins} == \
+           {w.replace("winning(", "").rstrip(")") for w in hilog_wins}
+
+
+@pytest.mark.parametrize("games", [2, 6, 12])
+def test_figure_1_scaling_in_game_count(benchmark, games):
+    edge_lists = {("m%d" % index): chain_edges(15, "m%d_" % index) for index in range(games)}
+    program = hilog_game_program(edge_lists)
+    result = benchmark(lambda: modularly_stratified_for_hilog(program))
+    assert result.is_modularly_stratified

@@ -1,0 +1,57 @@
+"""The parts-explosion problem with aggregation (Section 6 of the paper).
+
+One generic HiLog program computes, for every machine registered in the
+``assoc`` relation, how many copies of each (transitive) subpart a part
+contains — the paper's example being a bicycle with two wheels of 47 spokes
+each, hence 94 spokes in total.  The recursion goes *through* the sum
+aggregate, which is legal here because each part hierarchy is acyclic:
+this is the aggregate analogue of modular stratification.
+
+Run with::
+
+    python examples/parts_explosion.py
+"""
+
+from repro import format_term, parse_program
+from repro.core.modular import modularly_stratified_for_hilog, perfect_model_for_hilog
+from repro.workloads.parts import bicycle_parts_program, parts_explosion_program, random_hierarchy
+
+
+def show_contains(model, machine):
+    rows = []
+    for atom in sorted(model.true, key=repr):
+        text = format_term(atom)
+        if text.startswith("contains(%s," % machine):
+            rows.append("    " + text)
+    return rows
+
+
+def main():
+    program = bicycle_parts_program()
+    print("The parts-explosion program (shared rules):")
+    for rule in program.proper_rules():
+        print("   ", rule)
+
+    result = modularly_stratified_for_hilog(program)
+    print("\nModularly stratified through aggregation:", result.is_modularly_stratified)
+
+    model = perfect_model_for_hilog(program)
+    print("\nContainment counts for the bicycle:")
+    for row in show_contains(model, "bike"):
+        print(row)
+    print("  -> a bicycle has 94 spokes, as in the paper.")
+
+    # A second machine, sharing nothing with the bicycle, evaluated by the
+    # same rules: this is the reuse the paper's assoc relation is about.
+    print("\nA randomly generated appliance evaluated by the same rules:")
+    triples = random_hierarchy(levels=3, parts_per_level=3, fanout=2, seed=7, prefix="unit")
+    appliance = parts_explosion_program({"appliance": {"appliance_parts": triples}})
+    appliance_model = perfect_model_for_hilog(appliance)
+    for row in show_contains(appliance_model, "appliance")[:8]:
+        print(row)
+    print("    ... (%d containment facts in total)"
+          % len(show_contains(appliance_model, "appliance")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so the package can be installed editable without network access
+(the environment has no `wheel` package, so the legacy `setup.py develop`
+path is used)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Comparison and reporting helpers used by the experiments."""
+
+from repro.analysis.compare import (
+    ComparisonResult,
+    compare_interpretations,
+    hilog_vs_normal_reduction,
+)
+from repro.analysis.report import ExperimentRow, format_table, print_table
+
+__all__ = [
+    "ComparisonResult",
+    "compare_interpretations",
+    "hilog_vs_normal_reduction",
+    "ExperimentRow",
+    "format_table",
+    "print_table",
+]

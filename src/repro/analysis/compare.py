@@ -1,0 +1,131 @@
+"""Model comparison utilities.
+
+The experiments repeatedly ask the same two questions:
+
+* do two three-valued interpretations agree (and where do they differ)?
+* does the HiLog semantics of a normal program conservatively extend its
+  normal semantics (Theorems 4.1 and 4.2)?
+
+This module packages both as reusable functions returning structured
+results that the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, NamedTuple, Optional, Tuple
+
+from repro.core.semantics import (
+    hilog_stable_models,
+    hilog_well_founded_model,
+    normal_stable_models,
+    normal_well_founded_model,
+)
+from repro.engine.interpretation import Interpretation, conservatively_extends
+from repro.hilog.program import Program
+from repro.hilog.terms import Term
+
+
+class ComparisonResult(NamedTuple):
+    """Differences between two interpretations over a shared atom set."""
+
+    equal: bool
+    only_true_in_first: FrozenSet[Term]
+    only_true_in_second: FrozenSet[Term]
+    only_false_in_first: FrozenSet[Term]
+    only_false_in_second: FrozenSet[Term]
+    undefined_disagreements: FrozenSet[Term]
+
+
+def compare_interpretations(first, second, atoms=None):
+    """Compare two interpretations on ``atoms`` (default: union of bases)."""
+    if atoms is None:
+        atoms = set(first.base) | set(second.base)
+    only_true_first = set()
+    only_true_second = set()
+    only_false_first = set()
+    only_false_second = set()
+    undefined_disagreements = set()
+    for atom in atoms:
+        first_value = first.value(atom)
+        second_value = second.value(atom)
+        if first_value == second_value:
+            continue
+        if first_value == "true":
+            only_true_first.add(atom)
+        if second_value == "true":
+            only_true_second.add(atom)
+        if first_value == "false":
+            only_false_first.add(atom)
+        if second_value == "false":
+            only_false_second.add(atom)
+        if "undefined" in (first_value, second_value):
+            undefined_disagreements.add(atom)
+    equal = not (only_true_first or only_true_second or only_false_first or only_false_second)
+    return ComparisonResult(
+        equal,
+        frozenset(only_true_first),
+        frozenset(only_true_second),
+        frozenset(only_false_first),
+        frozenset(only_false_second),
+        frozenset(undefined_disagreements),
+    )
+
+
+class ReductionCheck(NamedTuple):
+    """Outcome of the Theorem 4.1 / 4.2 check on one normal program."""
+
+    well_founded_conservative: bool
+    stable_correspondence: Optional[bool]
+    hilog_model: Interpretation
+    normal_model: Interpretation
+
+
+def hilog_vs_normal_reduction(program, grounding="relevant", max_depth=1, check_stable=True,
+                              max_branch_atoms=22):
+    """Check Theorems 4.1/4.2 on a (range-restricted) normal program.
+
+    Computes the well-founded model both as a normal program (over its
+    constants) and as a HiLog program, checks that the latter conservatively
+    extends the former, and — when ``check_stable`` is set — checks the
+    one-to-one correspondence of stable models (every HiLog stable model
+    conservatively extends exactly one normal stable model and vice versa).
+
+    ``grounding`` selects the HiLog grounding strategy: ``"relevant"``
+    (default — sound for range-restricted programs and fast enough for
+    random-program sweeps) or ``"universe"`` (faithful exhaustive
+    instantiation over a depth-``max_depth`` fragment; use only for very
+    small vocabularies, since the instantiation is exponential in the number
+    of rule variables).
+    """
+    normal_model = normal_well_founded_model(program)
+    hilog_model = hilog_well_founded_model(program, grounding=grounding, max_depth=max_depth)
+    program_symbols = program.symbols()
+    wf_ok = conservatively_extends(hilog_model, normal_model, smaller_symbols=program_symbols)
+
+    stable_ok = None
+    if check_stable:
+        normal_stables = normal_stable_models(program, max_branch_atoms=max_branch_atoms)
+        hilog_stables = hilog_stable_models(
+            program, grounding=grounding, max_depth=max_depth, max_branch_atoms=max_branch_atoms
+        )
+        if len(normal_stables) != len(hilog_stables):
+            stable_ok = False
+        else:
+            matched = []
+            for hilog_stable in hilog_stables:
+                partners = [
+                    index
+                    for index, normal_stable in enumerate(normal_stables)
+                    if conservatively_extends(hilog_stable, normal_stable,
+                                              smaller_symbols=program_symbols)
+                ]
+                matched.append(partners)
+            used = set()
+            stable_ok = True
+            for partners in matched:
+                free = [index for index in partners if index not in used]
+                if not free:
+                    stable_ok = False
+                    break
+                used.add(free[0])
+    return ReductionCheck(wf_ok, stable_ok, hilog_model, normal_model)

@@ -1,0 +1,80 @@
+"""The paper's core contribution: negation in HiLog.
+
+This package implements Sections 4–6 of "On Negation in HiLog":
+
+* the HiLog well-founded and stable semantics (Section 4),
+* HiLog range restriction and strong range restriction (Definitions 5.5/5.6),
+* empirical checkers for domain independence and preservation under
+  extensions (Section 5),
+* modular stratification for HiLog — the Figure-1 procedure — and the
+  resulting perfect-model evaluation, including the aggregate extension used
+  by the parts-explosion program (Section 6),
+* Datahilog recognition and the finiteness guarantee of Lemma 6.3,
+* the magic-sets transformation and query-driven evaluation for modularly
+  stratified HiLog programs (Section 6.1).
+"""
+
+from repro.core.semantics import (
+    hilog_stable_models,
+    hilog_well_founded_model,
+    normal_well_founded_model,
+    normal_stable_models,
+)
+from repro.core.range_restriction import (
+    classify_rule,
+    is_query_range_restricted,
+    is_range_restricted,
+    is_strongly_range_restricted,
+    rule_is_range_restricted,
+    rule_is_strongly_range_restricted,
+)
+from repro.core.preservation import (
+    PreservationReport,
+    check_preservation_under_extensions,
+    random_disjoint_extension,
+)
+from repro.core.domain_independence import (
+    DomainIndependenceReport,
+    check_domain_independence,
+)
+from repro.core.modular import (
+    HiLogModularResult,
+    hilog_reduction,
+    modularly_stratified_for_hilog,
+    perfect_model_for_hilog,
+)
+from repro.core.datahilog import is_datahilog, datahilog_relevant_atoms
+from repro.core.magic import (
+    MagicProgram,
+    magic_rewrite,
+    magic_evaluate,
+    answer_query,
+)
+
+__all__ = [
+    "hilog_well_founded_model",
+    "hilog_stable_models",
+    "normal_well_founded_model",
+    "normal_stable_models",
+    "is_range_restricted",
+    "is_strongly_range_restricted",
+    "rule_is_range_restricted",
+    "rule_is_strongly_range_restricted",
+    "is_query_range_restricted",
+    "classify_rule",
+    "PreservationReport",
+    "check_preservation_under_extensions",
+    "random_disjoint_extension",
+    "DomainIndependenceReport",
+    "check_domain_independence",
+    "HiLogModularResult",
+    "modularly_stratified_for_hilog",
+    "perfect_model_for_hilog",
+    "hilog_reduction",
+    "is_datahilog",
+    "datahilog_relevant_atoms",
+    "MagicProgram",
+    "magic_rewrite",
+    "magic_evaluate",
+    "answer_query",
+]

@@ -1,0 +1,141 @@
+"""Datahilog programs (Definition 6.7) and the finiteness lemma (Lemma 6.3).
+
+A HiLog program is a *Datahilog* program when, in every atom of every rule,
+both the predicate name and all arguments are variables or constant symbols —
+no symbol is ever applied to build a nested term, and the only use of
+variables in predicate names is as a bare variable.  The rule
+
+    winning(M, X) <- game(M), M(X, Y), not winning(M, Y)
+
+is Datahilog, while ``tc(G)(X, Y) <- graph(G), G(X, Z), tc(G)(Z, Y)`` is not
+(its head name ``tc(G)`` is a compound term).
+
+Lemma 6.3: for a strongly range-restricted Datahilog program the set of
+ground atoms not made false by the well-founded semantics is finite — it is
+contained in ``T = {c0(c1, ..., cn) : ci constants of P, n an arity of P}``.
+This is what guarantees termination of the magic-sets evaluation in the
+Datalog-like case.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.hilog.program import Program, Rule
+from repro.hilog.terms import App, Num, Sym, Term, Var
+
+
+def _is_simple(term):
+    """A variable or a constant symbol (no application)."""
+    return isinstance(term, (Var, Sym)) and not isinstance(term, App)
+
+
+def _atom_is_datahilog(atom):
+    if _is_simple(atom):
+        return True
+    if isinstance(atom, App):
+        if not _is_simple(atom.name):
+            return False
+        return all(_is_simple(argument) for argument in atom.args)
+    return False
+
+
+def rule_is_datahilog(rule):
+    """Definition 6.7 for one rule (builtins and aggregates are exempted,
+    since their arguments are arithmetic rather than HiLog structure)."""
+    atoms = [rule.head]
+    for literal in rule.body:
+        if literal.is_builtin():
+            continue
+        atoms.append(literal.atom)
+    for aggregate in rule.aggregates:
+        atoms.append(aggregate.condition)
+    return all(_atom_is_datahilog(atom) for atom in atoms)
+
+
+def is_datahilog(program):
+    """Definition 6.7 lifted to programs."""
+    return all(rule_is_datahilog(rule) for rule in program.rules)
+
+
+def program_constants(program):
+    """The constant symbols appearing anywhere in the program."""
+    constants = set()
+
+    def visit(term):
+        if isinstance(term, Sym):
+            constants.add(term)
+        elif isinstance(term, App):
+            visit(term.name)
+            for argument in term.args:
+                visit(argument)
+
+    for rule in program.rules:
+        visit(rule.head)
+        for literal in rule.body:
+            if not literal.is_builtin():
+                visit(literal.atom)
+        for aggregate in rule.aggregates:
+            visit(aggregate.condition)
+            visit(aggregate.value)
+            visit(aggregate.result)
+    return constants
+
+
+def program_arities(program):
+    """The set of atom arities used by the program (0 for bare symbols)."""
+    arities = set()
+    for rule in program.rules:
+        atoms = [rule.head] + [lit.atom for lit in rule.body if not lit.is_builtin()]
+        for aggregate in rule.aggregates:
+            atoms.append(aggregate.condition)
+        for atom in atoms:
+            if isinstance(atom, App):
+                arities.add(len(atom.args))
+            else:
+                arities.add(0)
+    return arities
+
+
+def datahilog_relevant_atoms(program, max_enumeration=5_000_000):
+    """Lemma 6.3's finite superset ``T`` of the non-false atoms.
+
+    Returns the set of atoms ``c0(c1, ..., cn)`` for constants ``ci`` of the
+    program and arities ``n`` used by the program (the bare constants are
+    included for the 0-ary case).  Raises :class:`ValueError` when the
+    enumeration would exceed ``max_enumeration`` atoms — the size is
+    ``sum_n |C|^(n+1)``, which the caller can obtain cheaply from
+    :func:`datahilog_bound` instead.
+    """
+    if not is_datahilog(program):
+        raise ValueError("datahilog_relevant_atoms requires a Datahilog program")
+    constants = sorted(program_constants(program), key=lambda s: s.name)
+    arities = sorted(program_arities(program))
+    if datahilog_bound(program) > max_enumeration:
+        raise ValueError(
+            "the Lemma 6.3 superset has more than %d atoms; use datahilog_bound "
+            "for its size instead of enumerating it" % max_enumeration
+        )
+    atoms = set()
+    for arity in arities:
+        if arity == 0:
+            atoms.update(constants)
+            continue
+        for name in constants:
+            for args in product(constants, repeat=arity):
+                atoms.add(App(name, args))
+    return atoms
+
+
+def datahilog_bound(program):
+    """The cardinality of Lemma 6.3's superset ``T`` (without enumerating it)."""
+    constants = program_constants(program)
+    arities = program_arities(program)
+    total = 0
+    for arity in arities:
+        if arity == 0:
+            total += len(constants)
+        else:
+            total += len(constants) ** (arity + 1)
+    return total

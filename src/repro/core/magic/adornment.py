@@ -1,0 +1,104 @@
+"""Binding patterns (adornments) for HiLog calls.
+
+Classical magic sets adorn each predicate with a string of ``b``/``f`` marks.
+The paper's HiLog version instead passes the *called atom itself* as the
+argument of the ``magic`` predicate (``magic(w(m)(a), +)``), and notes that
+"variables in names and variables in arguments are treated the same" for the
+supplementary predicates.  We follow the same style: a call pattern is the
+called atom with every unbound variable replaced by the reserved symbol
+``$free``.  This keeps call patterns ground (so the ordinary engine can store
+them) while preserving exactly the information an adornment would carry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.hilog.terms import App, Sym, Term, Var
+
+#: Reserved symbol marking an unbound position in an abstracted call pattern.
+FREE = Sym("$free")
+
+
+def abstract_call(atom, bound_variables=frozenset()):
+    """Replace every variable of ``atom`` not in ``bound_variables`` by ``$free``.
+
+    Variables in ``bound_variables`` are left in place (they will be
+    substituted by the supplementary predicate's bindings when the magic rule
+    fires); all other variables become ``$free``.
+    """
+    bound = set(bound_variables)
+
+    def walk(term):
+        if isinstance(term, Var):
+            return term if term in bound else FREE
+        if isinstance(term, App):
+            return App(walk(term.name), tuple(walk(argument) for argument in term.args))
+        return term
+
+    return walk(atom)
+
+
+#: Reserved symbol marking a bound-but-unknown position in a call signature
+#: (used when a call pattern is processed recursively: the rewriting only
+#: needs to know *which* positions will be bound, not their values).
+BOUND = Sym("$bound")
+
+
+def adornment_of(atom):
+    """The classical ``b``/``f`` adornment string of an (abstracted) call.
+
+    Argument positions containing ``$free`` are free, everything else —
+    constants, ``$bound`` markers and the variables left in place for bound
+    positions by :func:`abstract_call` — is bound; the predicate name
+    contributes a leading ``b`` or ``f``.  Useful for reporting and for the
+    tests that compare against Example 6.6.
+    """
+    from repro.hilog.terms import atom_arguments, predicate_name
+
+    def is_free(term):
+        if term == FREE:
+            return True
+        if isinstance(term, App):
+            return is_free(term.name) or any(is_free(argument) for argument in term.args)
+        return False
+
+    marks = ["f" if is_free(predicate_name(atom)) else "b"]
+    for argument in atom_arguments(atom):
+        marks.append("f" if is_free(argument) else "b")
+    return "".join(marks)
+
+
+def call_signature(atom, bound_variables=frozenset()):
+    """Abstract a call for recursive processing: bound variables become
+    ``$bound`` markers and unbound variables become ``$free`` markers, so two
+    calls with the same binding *pattern* get the same signature regardless of
+    the actual values passed."""
+    bound = set(bound_variables)
+
+    def walk(term):
+        if isinstance(term, Var):
+            return BOUND if term in bound else FREE
+        if isinstance(term, App):
+            return App(walk(term.name), tuple(walk(argument) for argument in term.args))
+        return term
+
+    return walk(atom)
+
+
+def generalize_pattern(atom):
+    """Canonical variant of a call pattern: variables renamed V0, V1, ... in
+    left-to-right order.  Two calls are the same pattern exactly when their
+    canonical variants are equal."""
+    mapping = {}
+
+    def walk(term):
+        if isinstance(term, Var):
+            if term not in mapping:
+                mapping[term] = Var("V%d" % len(mapping))
+            return mapping[term]
+        if isinstance(term, App):
+            return App(walk(term.name), tuple(walk(argument) for argument in term.args))
+        return term
+
+    return walk(atom)

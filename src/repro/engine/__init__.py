@@ -1,0 +1,66 @@
+"""Ground evaluation engine.
+
+This package contains the machinery shared by the normal-program baselines
+and the HiLog semantics of the paper:
+
+* three-valued Herbrand interpretations with the (conservative) extension
+  relations of Definitions 2.3/2.4,
+* grounders (exhaustive over a finite universe fragment, and relevance
+  driven),
+* the ``T_P`` / ``U_P`` / ``W_P`` operators of Definition 3.5 and the
+  well-founded model computed either by direct ``W_P`` iteration or by the
+  alternating Gelfond–Lifschitz fixpoint,
+* stable models as two-valued fixpoints of ``W_P`` (Definition 3.6),
+* semi-naive evaluation of definite ground programs,
+* arithmetic/comparison builtins and aggregate subgoals.
+"""
+
+from repro.engine.interpretation import (
+    Interpretation,
+    conservatively_extends,
+    extends,
+    restrict_to_symbols,
+)
+from repro.engine.grounding import (
+    GroundProgram,
+    GroundRule,
+    ground_over_universe,
+    instantiate_rule,
+    relevant_ground_program,
+)
+from repro.engine.fixpoint import least_model, least_model_with_blocked
+from repro.engine.wellfounded import (
+    WellFoundedResult,
+    greatest_unfounded_set,
+    tp_operator,
+    well_founded_model,
+    wp_operator,
+)
+from repro.engine.stable import stable_models, is_stable_model
+from repro.engine.builtins import evaluate_ground_builtin, is_arithmetic_term, solve_builtin
+from repro.engine.aggregates import evaluate_aggregate
+
+__all__ = [
+    "Interpretation",
+    "conservatively_extends",
+    "extends",
+    "restrict_to_symbols",
+    "GroundRule",
+    "GroundProgram",
+    "ground_over_universe",
+    "relevant_ground_program",
+    "instantiate_rule",
+    "least_model",
+    "least_model_with_blocked",
+    "WellFoundedResult",
+    "well_founded_model",
+    "tp_operator",
+    "wp_operator",
+    "greatest_unfounded_set",
+    "stable_models",
+    "is_stable_model",
+    "solve_builtin",
+    "evaluate_ground_builtin",
+    "is_arithmetic_term",
+    "evaluate_aggregate",
+]

@@ -1,0 +1,151 @@
+"""Arithmetic and comparison builtins.
+
+Builtins let the reproduction run the paper's parts-explosion program, whose
+second rule multiplies part counts (``N = P * M``).  The supported builtin
+literals are ``=``, ``\\=``, ``<``, ``>``, ``=<``, ``>=``, ``=:=``, ``=\\=``
+and ``is``; arithmetic expressions are terms built from ``+ - * / mod min
+max`` over integer literals.
+
+Builtins are evaluated either on fully ground atoms
+(:func:`evaluate_ground_builtin`) or in "solve" mode during grounding
+(:func:`solve_builtin`), where ``X is E`` / ``X = E`` with an unbound
+left-hand side binds ``X``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hilog.errors import EvaluationError
+from repro.hilog.program import ARITHMETIC_FUNCTORS, BUILTIN_PREDICATES
+from repro.hilog.subst import Substitution
+from repro.hilog.terms import App, Num, Sym, Term, Var, predicate_name
+
+
+def is_builtin_atom(atom):
+    """True when the atom's predicate name is one of the builtin predicates."""
+    name = predicate_name(atom)
+    return isinstance(name, Sym) and not isinstance(name, Num) and name.name in BUILTIN_PREDICATES
+
+
+def is_arithmetic_term(term):
+    """True when ``term`` is a ground arithmetic expression over integers."""
+    if isinstance(term, Num):
+        return True
+    if isinstance(term, App) and isinstance(term.name, Sym) and term.name.name in ARITHMETIC_FUNCTORS:
+        return all(is_arithmetic_term(arg) for arg in term.args)
+    return False
+
+
+def evaluate_arithmetic(term):
+    """Evaluate a ground arithmetic expression to an ``int``.
+
+    Raises :class:`EvaluationError` when the term is not a valid expression.
+    """
+    if isinstance(term, Num):
+        return term.value
+    if isinstance(term, App) and isinstance(term.name, Sym):
+        op = term.name.name
+        args = [evaluate_arithmetic(arg) for arg in term.args]
+        if op == "+" and len(args) == 2:
+            return args[0] + args[1]
+        if op == "-" and len(args) == 2:
+            return args[0] - args[1]
+        if op == "-" and len(args) == 1:
+            return -args[0]
+        if op == "*" and len(args) == 2:
+            return args[0] * args[1]
+        if op == "/" and len(args) == 2:
+            if args[1] == 0:
+                raise EvaluationError("division by zero in %r" % (term,))
+            return args[0] // args[1]
+        if op == "mod" and len(args) == 2:
+            if args[1] == 0:
+                raise EvaluationError("mod by zero in %r" % (term,))
+            return args[0] % args[1]
+        if op == "min" and len(args) == 2:
+            return min(args)
+        if op == "max" and len(args) == 2:
+            return max(args)
+    raise EvaluationError("not an arithmetic expression: %r" % (term,))
+
+
+def _comparison(op, left, right):
+    if op in ("<",):
+        return left < right
+    if op in (">",):
+        return left > right
+    if op in ("=<",):
+        return left <= right
+    if op in (">=",):
+        return left >= right
+    if op in ("=:=",):
+        return left == right
+    if op in ("=\\=",):
+        return left != right
+    raise EvaluationError("unknown comparison operator %r" % (op,))
+
+
+def evaluate_ground_builtin(atom):
+    """Evaluate a fully ground builtin atom to True or False."""
+    if not isinstance(atom, App) or not isinstance(atom.name, Sym) or len(atom.args) != 2:
+        raise EvaluationError("malformed builtin atom: %r" % (atom,))
+    op = atom.name.name
+    left, right = atom.args
+    if op == "=":
+        if is_arithmetic_term(left) and is_arithmetic_term(right):
+            return evaluate_arithmetic(left) == evaluate_arithmetic(right)
+        return left == right
+    if op == "\\=":
+        if is_arithmetic_term(left) and is_arithmetic_term(right):
+            return evaluate_arithmetic(left) != evaluate_arithmetic(right)
+        return left != right
+    if op == "is":
+        if not is_arithmetic_term(right):
+            raise EvaluationError("right-hand side of 'is' is not arithmetic: %r" % (right,))
+        return is_arithmetic_term(left) and evaluate_arithmetic(left) == evaluate_arithmetic(right)
+    # Pure comparisons require numeric operands.
+    if not (is_arithmetic_term(left) and is_arithmetic_term(right)):
+        raise EvaluationError("comparison on non-arithmetic terms: %r" % (atom,))
+    return _comparison(op, evaluate_arithmetic(left), evaluate_arithmetic(right))
+
+
+def solve_builtin(atom, subst):
+    """Solve a builtin atom under a partial substitution.
+
+    Returns a list of extending substitutions (empty when the builtin fails,
+    a singleton when it succeeds).  Binding is supported for ``X is E`` and
+    ``X = T`` with an unbound variable on the left; all other builtins
+    require both sides to be ground after applying ``subst``.
+
+    Raises :class:`EvaluationError` when the builtin can be neither evaluated
+    nor solved (e.g. a comparison over unbound variables), which corresponds
+    to floundering.
+    """
+    applied = subst.apply(atom)
+    if not isinstance(applied, App) or len(applied.args) != 2:
+        raise EvaluationError("malformed builtin atom: %r" % (applied,))
+    op = applied.name.name if isinstance(applied.name, Sym) else None
+    left, right = applied.args
+
+    if op in ("is", "=") and isinstance(left, Var):
+        if op == "is":
+            if not is_arithmetic_term(right):
+                raise EvaluationError("'is' needs a ground arithmetic right-hand side: %r" % (right,))
+            value = Num(evaluate_arithmetic(right))
+            return [subst.bind(left, value)]
+        # '=': bind to the evaluated number when arithmetic, else to the term.
+        if is_arithmetic_term(right):
+            return [subst.bind(left, Num(evaluate_arithmetic(right)))]
+        if right.is_ground():
+            return [subst.bind(left, right)]
+        raise EvaluationError("cannot solve %r: right-hand side not ground" % (applied,))
+
+    if op == "=" and isinstance(right, Var) and left.is_ground():
+        if is_arithmetic_term(left):
+            return [subst.bind(right, Num(evaluate_arithmetic(left)))]
+        return [subst.bind(right, left)]
+
+    if not applied.is_ground():
+        raise EvaluationError("builtin %r is not ground and cannot bind" % (applied,))
+    return [subst] if evaluate_ground_builtin(applied) else []

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the HiLog substrate."""
+
+
+class HiLogError(Exception):
+    """Base class for all errors raised by the HiLog reproduction library."""
+
+
+class ParseError(HiLogError):
+    """Raised when HiLog source text cannot be parsed.
+
+    Attributes:
+        message: human readable description of the problem.
+        line: 1-based line number of the offending token, when known.
+        column: 1-based column number of the offending token, when known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = " at line %d" % line
+            if column is not None:
+                location += ", column %d" % column
+        super().__init__(message + location)
+        self.message = message
+        self.line = line
+        self.column = column
+
+
+class UnificationError(HiLogError):
+    """Raised when two terms cannot be unified and the caller asked to raise."""
+
+
+class GroundingError(HiLogError):
+    """Raised when a program cannot be grounded under the requested policy.
+
+    The usual cause is an unsafe rule: a variable in the head or in a negative
+    literal that never becomes bound by a positive body literal, so the set of
+    relevant instances is not finite.
+    """
+
+
+class EvaluationError(HiLogError):
+    """Raised when evaluation of a (ground) program fails.
+
+    Examples include arithmetic builtins applied to non-numeric arguments and
+    aggregate groups over undefined subgoals.
+    """
+
+
+class StratificationError(HiLogError):
+    """Raised when a program fails a stratification condition that the caller
+    required (for example when asking for the perfect-model evaluation of a
+    program that is not modularly stratified)."""

@@ -1,0 +1,180 @@
+"""Tokenizer for the concrete HiLog syntax.
+
+The syntax is Prolog-like.  Examples accepted by the parser built on top of
+this lexer::
+
+    tc(G)(X, Y) :- G(X, Y).
+    tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).
+    winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).
+    maplist(F)([], []).
+    maplist(F)([X|R], [Y|Z]) :- F(X, Y), maplist(F)(R, Z).
+    contains(Mach, X, Y, N) :- N = sum(P : in(Mach, X, Y, _, P)).
+    ?- w(m)(a).
+
+Comments run from ``%`` to the end of the line, or between ``/*`` and ``*/``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.hilog.errors import ParseError
+
+
+class Token(NamedTuple):
+    """A single lexical token."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+#: Multi-character punctuation, longest first so greedy matching is correct.
+_MULTI_PUNCT = (
+    ":-",
+    "?-",
+    "=<",
+    ">=",
+    "=:=",
+    "=\\=",
+    "\\=",
+    "\\+",
+)
+
+_SINGLE_PUNCT = "()[]|,.:<>=~+-*/"
+
+#: Token kinds produced by the lexer.
+KIND_IDENT = "IDENT"
+KIND_VAR = "VAR"
+KIND_NUMBER = "NUMBER"
+KIND_PUNCT = "PUNCT"
+KIND_EOF = "EOF"
+
+
+def _is_ident_start(char):
+    return char.islower()
+
+
+def _is_var_start(char):
+    return char.isupper() or char == "_"
+
+
+def _is_name_char(char):
+    return char.isalnum() or char == "_"
+
+
+def tokenize(text):
+    """Tokenize HiLog source text into a list of :class:`Token`.
+
+    Raises :class:`ParseError` on illegal characters or unterminated quoted
+    atoms / block comments.
+    """
+    tokens = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def error(message):
+        raise ParseError(message, line=line, column=column)
+
+    while index < length:
+        char = text[index]
+
+        # -- whitespace -----------------------------------------------------
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char.isspace():
+            index += 1
+            column += 1
+            continue
+
+        # -- comments -------------------------------------------------------
+        if char == "%":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end < 0:
+                error("unterminated block comment")
+            skipped = text[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+
+        # -- quoted atoms ---------------------------------------------------
+        if char == "'":
+            end = index + 1
+            pieces = []
+            while True:
+                if end >= length:
+                    error("unterminated quoted atom")
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        pieces.append("'")
+                        end += 2
+                        continue
+                    break
+                pieces.append(text[end])
+                end += 1
+            value = "".join(pieces)
+            tokens.append(Token(KIND_IDENT, value, line, column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+
+        # -- numbers ----------------------------------------------------------
+        if char.isdigit():
+            end = index
+            while end < length and text[end].isdigit():
+                end += 1
+            tokens.append(Token(KIND_NUMBER, text[index:end], line, column))
+            column += end - index
+            index = end
+            continue
+
+        # -- identifiers and variables ----------------------------------------
+        if _is_ident_start(char):
+            end = index
+            while end < length and _is_name_char(text[end]):
+                end += 1
+            tokens.append(Token(KIND_IDENT, text[index:end], line, column))
+            column += end - index
+            index = end
+            continue
+        if _is_var_start(char):
+            end = index
+            while end < length and _is_name_char(text[end]):
+                end += 1
+            tokens.append(Token(KIND_VAR, text[index:end], line, column))
+            column += end - index
+            index = end
+            continue
+
+        # -- punctuation ------------------------------------------------------
+        matched = None
+        for punct in _MULTI_PUNCT:
+            if text.startswith(punct, index):
+                matched = punct
+                break
+        if matched is None and char in _SINGLE_PUNCT:
+            matched = char
+        if matched is not None:
+            tokens.append(Token(KIND_PUNCT, matched, line, column))
+            column += len(matched)
+            index += len(matched)
+            continue
+
+        error("unexpected character %r" % char)
+
+    tokens.append(Token(KIND_EOF, "", line, column))
+    return tokens

@@ -1,0 +1,322 @@
+"""Recursive-descent parser for the concrete HiLog syntax.
+
+Grammar (informally)::
+
+    program   ::=  clause*
+    clause    ::=  rule "."
+    rule      ::=  term [ ":-" body ]
+    query     ::=  [ "?-" ] body "."?
+    body      ::=  bodyitem ("," bodyitem)*
+    bodyitem  ::=  ("not" | "\\+" | "~") atom
+                |  term ":-"-free infix-comparison term      (builtin literal)
+                |  term "=" aggop "(" term ":" atom ")"       (aggregate)
+                |  atom
+    term      ::=  additive arithmetic expression over applications
+    application ::= primary ( "(" [ term ("," term)* ] ")" )*
+    primary   ::=  VAR | NUMBER | IDENT | "(" term ")" | list
+
+Negation: ``not`` is treated as the negation operator unless it is directly
+followed by ``(`` with no space carrying semantic weight — i.e. ``not(X)`` is
+the application of the symbol ``not`` (as in Example 5.3 of the paper) while
+``not p(X)`` is the negative literal ``¬ p(X)``.  The unambiguous forms
+``\\+`` and ``~`` are always negation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hilog.errors import ParseError
+from repro.hilog.lexer import (
+    KIND_EOF,
+    KIND_IDENT,
+    KIND_NUMBER,
+    KIND_PUNCT,
+    KIND_VAR,
+    Token,
+    tokenize,
+)
+from repro.hilog.program import AggregateSpec, Literal, Program, Rule
+from repro.hilog.terms import App, Num, Sym, Term, Var, make_list
+
+_COMPARISON_OPS = ("=", "\\=", "<", ">", "=<", ">=", "=:=", "=\\=")
+_AGG_OPS = ("sum", "count", "min", "max")
+
+
+class _Parser:
+    """Stateful token-stream parser.  One instance per parse call."""
+
+    def __init__(self, text):
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._anon_counter = 0
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self, offset=0):
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self):
+        token = self._tokens[self._pos]
+        if token.kind != KIND_EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind, value=None):
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        if value is not None and token.value != value:
+            return False
+        return True
+
+    def _accept(self, kind, value=None):
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._peek()
+        if not self._check(kind, value):
+            expected = value if value is not None else kind
+            raise ParseError(
+                "expected %r but found %r" % (expected, token.value or token.kind),
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _at_eof(self):
+        return self._peek().kind == KIND_EOF
+
+    # -- terms --------------------------------------------------------------
+    def parse_term(self):
+        """Parse a term, including infix arithmetic expressions."""
+        return self._additive()
+
+    def _additive(self):
+        left = self._multiplicative()
+        while self._check(KIND_PUNCT, "+") or self._check(KIND_PUNCT, "-"):
+            op = self._advance().value
+            right = self._multiplicative()
+            left = App(Sym(op), (left, right))
+        return left
+
+    def _multiplicative(self):
+        left = self._application()
+        while self._check(KIND_PUNCT, "*") or self._check(KIND_PUNCT, "/"):
+            op = self._advance().value
+            right = self._application()
+            left = App(Sym(op), (left, right))
+        return left
+
+    def _application(self):
+        term = self._primary()
+        while self._check(KIND_PUNCT, "("):
+            self._advance()
+            args = []
+            if not self._check(KIND_PUNCT, ")"):
+                args.append(self.parse_term())
+                while self._accept(KIND_PUNCT, ","):
+                    args.append(self.parse_term())
+            self._expect(KIND_PUNCT, ")")
+            term = App(term, tuple(args))
+        return term
+
+    def _primary(self):
+        token = self._peek()
+        if token.kind == KIND_VAR:
+            self._advance()
+            if token.value == "_":
+                self._anon_counter += 1
+                return Var("_Anon%d" % self._anon_counter)
+            return Var(token.value)
+        if token.kind == KIND_NUMBER:
+            self._advance()
+            return Num(int(token.value))
+        if token.kind == KIND_IDENT:
+            self._advance()
+            return Sym(token.value)
+        if token.kind == KIND_PUNCT and token.value == "(":
+            self._advance()
+            inner = self.parse_term()
+            self._expect(KIND_PUNCT, ")")
+            return inner
+        if token.kind == KIND_PUNCT and token.value == "[":
+            return self._list()
+        raise ParseError(
+            "expected a term but found %r" % (token.value or token.kind),
+            line=token.line,
+            column=token.column,
+        )
+
+    def _list(self):
+        self._expect(KIND_PUNCT, "[")
+        if self._accept(KIND_PUNCT, "]"):
+            return make_list([])
+        items = [self.parse_term()]
+        while self._accept(KIND_PUNCT, ","):
+            items.append(self.parse_term())
+        tail = None
+        if self._accept(KIND_PUNCT, "|"):
+            tail = self.parse_term()
+        self._expect(KIND_PUNCT, "]")
+        if tail is None:
+            return make_list(items)
+        return make_list(items, tail=tail)
+
+    # -- body items ----------------------------------------------------------
+    def _is_negation_keyword(self):
+        """``not`` acts as negation unless used as an ordinary symbol ``not(...)``."""
+        token = self._peek()
+        if token.kind != KIND_IDENT or token.value != "not":
+            return False
+        following = self._peek(1)
+        if following.kind == KIND_PUNCT and following.value == "(":
+            # ``not(X)`` — the application of the symbol `not` (Example 5.3).
+            return False
+        return True
+
+    def _parse_body_item(self):
+        """Parse one body item: literal, builtin comparison, or aggregate.
+
+        Returns either a :class:`Literal` or an :class:`AggregateSpec`.
+        """
+        if (
+            self._accept(KIND_PUNCT, "\\+") is not None
+            or self._accept(KIND_PUNCT, "~") is not None
+        ):
+            atom = self.parse_term()
+            return Literal(atom, positive=False)
+        if self._is_negation_keyword():
+            self._advance()
+            atom = self.parse_term()
+            return Literal(atom, positive=False)
+
+        left = self.parse_term()
+        token = self._peek()
+        if token.kind == KIND_PUNCT and token.value in _COMPARISON_OPS:
+            op = self._advance().value
+            if op == "=":
+                aggregate = self._try_parse_aggregate(left)
+                if aggregate is not None:
+                    return aggregate
+            right = self.parse_term()
+            return Literal(App(Sym(op), (left, right)))
+        if token.kind == KIND_IDENT and token.value == "is":
+            self._advance()
+            right = self.parse_term()
+            return Literal(App(Sym("is"), (left, right)))
+        return Literal(left)
+
+    def _try_parse_aggregate(self, result):
+        """After seeing ``result =``, try to parse ``op(Value : Condition)``.
+
+        Returns an :class:`AggregateSpec` or ``None`` (with the token
+        position restored) when the text is not an aggregate.
+        """
+        saved = self._pos
+        token = self._peek()
+        if token.kind != KIND_IDENT or token.value not in _AGG_OPS:
+            return None
+        op = token.value
+        if not (self._peek(1).kind == KIND_PUNCT and self._peek(1).value == "("):
+            return None
+        self._advance()  # op
+        self._advance()  # "("
+        try:
+            value = self.parse_term()
+            if not self._accept(KIND_PUNCT, ":"):
+                self._pos = saved
+                return None
+            condition = self.parse_term()
+            self._expect(KIND_PUNCT, ")")
+        except ParseError:
+            self._pos = saved
+            return None
+        return AggregateSpec(op, value, condition, result)
+
+    # -- rules, programs, queries ---------------------------------------------
+    def parse_rule(self):
+        """Parse one rule (without the trailing full stop)."""
+        head = self.parse_term()
+        body = []
+        aggregates = []
+        if self._accept(KIND_PUNCT, ":-"):
+            items = [self._parse_body_item()]
+            while self._accept(KIND_PUNCT, ","):
+                items.append(self._parse_body_item())
+            for item in items:
+                if isinstance(item, AggregateSpec):
+                    aggregates.append(item)
+                else:
+                    body.append(item)
+        return Rule(head, tuple(body), tuple(aggregates))
+
+    def parse_program(self):
+        """Parse a whole program (a sequence of clauses terminated by '.')."""
+        rules = []
+        while not self._at_eof():
+            rule = self.parse_rule()
+            self._expect(KIND_PUNCT, ".")
+            rules.append(rule)
+        return Program(tuple(rules))
+
+    def parse_query(self):
+        """Parse a query: optional ``?-`` prefix, body, optional trailing '.'."""
+        self._accept(KIND_PUNCT, "?-")
+        items = [self._parse_body_item()]
+        while self._accept(KIND_PUNCT, ","):
+            items.append(self._parse_body_item())
+        self._accept(KIND_PUNCT, ".")
+        if not self._at_eof():
+            token = self._peek()
+            raise ParseError(
+                "unexpected trailing input %r" % (token.value or token.kind),
+                line=token.line,
+                column=token.column,
+            )
+        for item in items:
+            if isinstance(item, AggregateSpec):
+                raise ParseError("aggregates are not allowed in queries")
+        return tuple(items)
+
+
+def parse_term(text):
+    """Parse a single HiLog term from ``text``."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    parser._accept(KIND_PUNCT, ".")
+    if not parser._at_eof():
+        token = parser._peek()
+        raise ParseError(
+            "unexpected trailing input %r" % (token.value or token.kind),
+            line=token.line,
+            column=token.column,
+        )
+    return term
+
+
+def parse_rule(text):
+    """Parse a single HiLog rule from ``text`` (trailing '.' optional)."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    parser._accept(KIND_PUNCT, ".")
+    if not parser._at_eof():
+        token = parser._peek()
+        raise ParseError(
+            "unexpected trailing input %r" % (token.value or token.kind),
+            line=token.line,
+            column=token.column,
+        )
+    return rule
+
+
+def parse_program(text):
+    """Parse a HiLog program (a sequence of '.'-terminated clauses)."""
+    return _Parser(text).parse_program()
+
+
+def parse_query(text):
+    """Parse a query (with or without the leading ``?-``) into a tuple of literals."""
+    return _Parser(text).parse_query()

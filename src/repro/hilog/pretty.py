@@ -1,0 +1,119 @@
+"""Pretty printing of HiLog terms, literals, rules and programs.
+
+The output round-trips through the parser (``parse_term(format_term(t)) == t``)
+for every term the parser can produce, which the property-based tests verify.
+"""
+
+from __future__ import annotations
+
+from repro.hilog.program import AggregateSpec, Literal, Program, Rule
+from repro.hilog.terms import App, CONS, NIL, Num, Sym, Term, Var, list_items
+
+#: Symbols that need quoting when printed (they would not re-lex as one IDENT).
+def _needs_quoting(name):
+    if not name:
+        return True
+    if name[0].isdigit():
+        return False
+    if not (name[0].islower()):
+        return True
+    return not all(ch.isalnum() or ch == "_" for ch in name)
+
+
+_INFIX_NAMES = {"+", "-", "*", "/", "=", "\\=", "<", ">", "=<", ">=", "is", "=:=", "=\\="}
+
+
+def format_term(term):
+    """Render a term in concrete HiLog syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Num):
+        return str(term.value)
+    if isinstance(term, Sym):
+        if term == NIL:
+            return "[]"
+        if _needs_quoting(term.name):
+            return "'%s'" % term.name.replace("'", "''")
+        return term.name
+    if isinstance(term, App):
+        if term.name == CONS and len(term.args) == 2:
+            return _format_list(term)
+        if (
+            isinstance(term.name, Sym)
+            and term.name.name in _INFIX_NAMES
+            and len(term.args) == 2
+        ):
+            left, right = term.args
+            return "%s %s %s" % (_format_operand(left), term.name.name, _format_operand(right))
+        name = format_term(term.name)
+        if isinstance(term.name, App) and list_items(term.name) is None:
+            # Applications of applications print naturally: tc(G)(X, Y).
+            pass
+        args = ", ".join(format_term(arg) for arg in term.args)
+        return "%s(%s)" % (name, args)
+    raise TypeError("not a Term: %r" % (term,))
+
+
+def _format_list(term):
+    """Render a ``$cons``/``$nil`` chain using list syntax, including partial
+    lists such as ``[X | Rest]``."""
+    items = []
+    node = term
+    while isinstance(node, App) and node.name == CONS and len(node.args) == 2:
+        items.append(format_term(node.args[0]))
+        node = node.args[1]
+    if node == NIL:
+        return "[%s]" % ", ".join(items)
+    return "[%s | %s]" % (", ".join(items), format_term(node))
+
+
+def _format_operand(term):
+    text = format_term(term)
+    if isinstance(term, App) and isinstance(term.name, Sym) and term.name.name in _INFIX_NAMES:
+        return "(%s)" % text
+    return text
+
+
+def format_literal(literal):
+    """Render a literal; negation uses the ``not`` keyword."""
+    if isinstance(literal, AggregateSpec):
+        return format_aggregate(literal)
+    body = format_term(literal.atom)
+    if literal.positive:
+        return body
+    return "not %s" % body
+
+
+def format_aggregate(aggregate):
+    """Render an aggregate subgoal ``Result = op(Value : Condition)``."""
+    return "%s = %s(%s : %s)" % (
+        format_term(aggregate.result),
+        aggregate.op,
+        format_term(aggregate.value),
+        format_term(aggregate.condition),
+    )
+
+
+def format_rule(rule):
+    """Render a rule, with the trailing full stop."""
+    head = format_term(rule.head)
+    items = [format_literal(literal) for literal in rule.body]
+    items.extend(format_aggregate(aggregate) for aggregate in rule.aggregates)
+    if not items:
+        return "%s." % head
+    return "%s :- %s." % (head, ", ".join(items))
+
+
+def format_program(program):
+    """Render a whole program, one clause per line."""
+    return "\n".join(format_rule(rule) for rule in program.rules)
+
+
+def format_interpretation(true_atoms, undefined_atoms=()):
+    """Render a three-valued interpretation compactly (used by examples)."""
+    true_part = sorted(format_term(atom) for atom in true_atoms)
+    undef_part = sorted(format_term(atom) for atom in undefined_atoms)
+    lines = ["true: {%s}" % ", ".join(true_part)]
+    if undef_part:
+        lines.append("undefined: {%s}" % ", ".join(undef_part))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Substitutions over HiLog terms.
+
+A substitution maps variables to terms.  It is represented immutably (a thin
+wrapper around a dict) so substitutions can be shared between choice points
+in the unification and grounding code without defensive copying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.hilog.terms import App, Term, Var
+
+
+class Substitution:
+    """An immutable mapping from :class:`Var` to :class:`Term`.
+
+    ``apply`` walks bindings transitively, so a triangular substitution such
+    as ``{X: Y, Y: a}`` applies to ``X`` as ``a``.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings=None):
+        if bindings is None:
+            bindings = {}
+        clean = {}
+        for variable, value in dict(bindings).items():
+            if not isinstance(variable, Var):
+                raise TypeError("substitution keys must be Var, got %r" % (variable,))
+            if not isinstance(value, Term):
+                raise TypeError("substitution values must be Term, got %r" % (value,))
+            if value != variable:
+                clean[variable] = value
+        self._bindings = clean
+
+    # -- mapping protocol ---------------------------------------------------
+    def __contains__(self, variable):
+        return variable in self._bindings
+
+    def __getitem__(self, variable):
+        return self._bindings[variable]
+
+    def get(self, variable, default=None):
+        return self._bindings.get(variable, default)
+
+    def __len__(self):
+        return len(self._bindings)
+
+    def __iter__(self):
+        return iter(self._bindings)
+
+    def items(self):
+        return self._bindings.items()
+
+    def keys(self):
+        return self._bindings.keys()
+
+    def values(self):
+        return self._bindings.values()
+
+    def __eq__(self, other):
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self):
+        return hash(frozenset(self._bindings.items()))
+
+    def __repr__(self):
+        pairs = ", ".join("%s/%r" % (variable.name, value) for variable, value in sorted(
+            self._bindings.items(), key=lambda item: item[0].name))
+        return "{%s}" % pairs
+
+    def is_empty(self):
+        """Return ``True`` when the substitution binds no variables."""
+        return not self._bindings
+
+    # -- application --------------------------------------------------------
+    def resolve(self, variable):
+        """Follow bindings starting at ``variable`` until a non-variable term
+        or an unbound variable is reached."""
+        seen = set()
+        current = variable
+        while isinstance(current, Var) and current in self._bindings:
+            if current in seen:
+                break
+            seen.add(current)
+            current = self._bindings[current]
+        return current
+
+    def apply(self, term):
+        """Apply the substitution to ``term``, producing a new term."""
+        if isinstance(term, Var):
+            value = self.resolve(term)
+            if isinstance(value, Var):
+                return value
+            return self.apply(value)
+        if isinstance(term, App):
+            new_name = self.apply(term.name)
+            new_args = tuple(self.apply(arg) for arg in term.args)
+            if new_name == term.name and new_args == term.args:
+                return term
+            return App(new_name, new_args)
+        return term
+
+    # -- construction -------------------------------------------------------
+    def bind(self, variable, value):
+        """Return a new substitution extending this one with ``variable -> value``."""
+        new_bindings = dict(self._bindings)
+        new_bindings[variable] = value
+        return Substitution(new_bindings)
+
+    def compose(self, other):
+        """Return the composition ``self ∘ other``.
+
+        Applying the result is equivalent to applying ``self`` first and then
+        ``other``:  ``(self.compose(other)).apply(t) == other.apply(self.apply(t))``.
+        """
+        new_bindings = {}
+        for variable, value in self._bindings.items():
+            new_bindings[variable] = other.apply(value)
+        for variable, value in other.items():
+            if variable not in new_bindings:
+                new_bindings[variable] = value
+        return Substitution(new_bindings)
+
+    def restrict(self, variables):
+        """Return the restriction of the substitution to ``variables``."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._bindings.items() if v in keep})
+
+    def as_dict(self):
+        """Return a plain ``dict`` copy of the bindings."""
+        return dict(self._bindings)
+
+
+def empty_substitution():
+    """Return the empty substitution."""
+    return Substitution()
+
+
+def compose(first, second):
+    """Module-level alias for :meth:`Substitution.compose`."""
+    return first.compose(second)

@@ -1,0 +1,429 @@
+"""HiLog terms.
+
+In HiLog there is no distinction between predicate, function and constant
+symbols (paper, Section 2): every symbol is a term, every variable is a term,
+and if ``t, t1, ..., tn`` are terms then so is the application ``t(t1,...,tn)``
+for every ``n >= 0``.  Terms and atoms coincide; the Herbrand base and the
+Herbrand universe are the same set.
+
+Terms are immutable, hashable and interned-friendly.  Three constructors:
+
+* :class:`Var` — a logical variable (``X``, ``Y``, ``Rest``).
+* :class:`Sym` — an atomic symbol (``p``, ``move``, ``a``); :class:`Num` is a
+  subclass carrying an integer value so arithmetic builtins can work, but it
+  behaves exactly like a symbol for unification and grounding.
+* :class:`App` — the application of a term (the *name*) to a tuple of
+  argument terms; ``p(a)(X, b)`` is ``App(App(Sym('p'), (Sym('a'),)),
+  (Var('X'), Sym('b')))``.  Zero-ary applications ``p()`` are permitted and
+  distinct from the bare symbol ``p`` (footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple, Union
+
+
+class Term:
+    """Abstract base class for HiLog terms.
+
+    Concrete subclasses are :class:`Var`, :class:`Sym`, :class:`Num` and
+    :class:`App`.  All of them are immutable and hashable so they can be used
+    freely as dictionary keys and set members, which the grounding and
+    fixpoint engines rely on heavily.
+    """
+
+    __slots__ = ()
+
+    def is_ground(self):
+        """Return ``True`` when the term contains no variables."""
+        raise NotImplementedError
+
+    def variables(self):
+        """Return the set of :class:`Var` objects occurring in the term."""
+        raise NotImplementedError
+
+    def symbols(self):
+        """Return the set of symbol names (strings) occurring in the term."""
+        raise NotImplementedError
+
+    def depth(self):
+        """Return the nesting depth of the term (symbols and variables are 0)."""
+        raise NotImplementedError
+
+    def size(self):
+        """Return the number of nodes in the term tree."""
+        raise NotImplementedError
+
+    # The pretty printer lives in repro.hilog.pretty; __repr__ delegates to it
+    # lazily to avoid an import cycle.
+    def __repr__(self):
+        from repro.hilog.pretty import format_term
+
+        return format_term(self)
+
+
+class Var(Term):
+    """A logical variable.
+
+    Variables compare by name: two ``Var('X')`` objects are equal.  The
+    parser produces names starting with an upper-case letter or underscore;
+    programmatically constructed variables may use any string.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("var", name)))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Var is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self):
+        return self._hash
+
+    def is_ground(self):
+        return False
+
+    def variables(self):
+        return {self}
+
+    def symbols(self):
+        return set()
+
+    def depth(self):
+        return 0
+
+    def size(self):
+        return 1
+
+
+class Sym(Term):
+    """An atomic HiLog symbol.
+
+    The same symbol may be used as a constant, as a function name, or as a
+    predicate name — possibly all three in one program — because HiLog does
+    not distinguish these roles.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("sym", name)))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Sym is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Sym) and other.name == self.name and type(other) is type(self)
+
+    def __hash__(self):
+        return self._hash
+
+    def is_ground(self):
+        return True
+
+    def variables(self):
+        return set()
+
+    def symbols(self):
+        return {self.name}
+
+    def depth(self):
+        return 0
+
+    def size(self):
+        return 1
+
+
+class Num(Sym):
+    """An integer literal.
+
+    Numbers behave exactly like symbols for unification, grounding and the
+    semantics; the attached :attr:`value` is only consulted by arithmetic and
+    comparison builtins and by aggregates.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        super().__init__(str(int(value)))
+        object.__setattr__(self, "value", int(value))
+
+    def __eq__(self, other):
+        return isinstance(other, Num) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("num", self.value))
+
+
+class App(Term):
+    """Application of a term to a tuple of argument terms: ``name(args...)``.
+
+    ``name`` is itself an arbitrary term (usually a :class:`Sym` or another
+    :class:`App`, but a :class:`Var` is legal — that is what gives HiLog its
+    higher-order flavour, e.g. ``G(X, Y)`` or ``winning(M)(X)``).
+    """
+
+    __slots__ = ("name", "args", "_hash")
+
+    def __init__(self, name, args=()):
+        if not isinstance(name, Term):
+            raise TypeError("App name must be a Term, got %r" % (name,))
+        args = tuple(args)
+        for arg in args:
+            if not isinstance(arg, Term):
+                raise TypeError("App argument must be a Term, got %r" % (arg,))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash(("app", name, args)))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("App is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, App)
+            and other._hash == self._hash
+            and other.name == self.name
+            and other.args == self.args
+        )
+
+    def __hash__(self):
+        return self._hash
+
+    @property
+    def arity(self):
+        """Number of arguments of the application."""
+        return len(self.args)
+
+    # The traversals below are iterative (explicit stacks) so that deeply
+    # nested terms — which arise when saturating non-strongly-range-restricted
+    # programs such as Example 5.2's unguarded tc(G) — never hit Python's
+    # recursion limit.
+    def is_ground(self):
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                return False
+            if isinstance(node, App):
+                stack.append(node.name)
+                stack.extend(node.args)
+        return True
+
+    def variables(self):
+        result = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                result.add(node)
+            elif isinstance(node, App):
+                stack.append(node.name)
+                stack.extend(node.args)
+        return result
+
+    def symbols(self):
+        result = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Sym):
+                result.add(node.name)
+            elif isinstance(node, App):
+                stack.append(node.name)
+                stack.extend(node.args)
+        return result
+
+    def depth(self):
+        max_depth = 0
+        stack = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if isinstance(node, App):
+                stack.append((node.name, depth + 1))
+                for arg in node.args:
+                    stack.append((arg, depth + 1))
+            else:
+                if depth > max_depth:
+                    max_depth = depth
+        # An App with no children pushed still contributes its own level.
+        if isinstance(self, App) and max_depth == 0:
+            return 1
+        return max_depth
+
+    def size(self):
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, App):
+                stack.append(node.name)
+                stack.extend(node.args)
+        return count
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors and helpers
+# ---------------------------------------------------------------------------
+
+# The list constructor symbols used by the parser's [H|T] sugar.
+CONS = Sym("$cons")
+NIL = Sym("$nil")
+
+
+def sym(name):
+    """Build a :class:`Sym` (or :class:`Num` when given an ``int``)."""
+    if isinstance(name, Term):
+        return name
+    if isinstance(name, bool):
+        raise TypeError("booleans are not HiLog symbols")
+    if isinstance(name, int):
+        return Num(name)
+    return Sym(str(name))
+
+
+def var(name):
+    """Build a :class:`Var`."""
+    if isinstance(name, Var):
+        return name
+    return Var(str(name))
+
+
+def app(name, *args):
+    """Build an application ``name(args...)``.
+
+    ``name`` may be a string (converted to a :class:`Sym`), and arguments may
+    be strings/ints which are converted with :func:`sym`.  Strings beginning
+    with an upper-case letter or ``_`` are *not* auto-converted to variables;
+    use :func:`var` or :class:`Var` explicitly for programmatic construction.
+    """
+    name_term = sym(name) if not isinstance(name, Term) else name
+    converted = tuple(arg if isinstance(arg, Term) else sym(arg) for arg in args)
+    return App(name_term, converted)
+
+
+def make_list(items, tail=NIL):
+    """Build a HiLog list term out of ``items`` using the ``$cons``/``$nil``
+    constructors used by the parser's ``[a, b | T]`` sugar."""
+    result = tail
+    for item in reversed(list(items)):
+        result = App(CONS, (item, result))
+    return result
+
+
+def list_items(term):
+    """Inverse of :func:`make_list` for proper lists.
+
+    Returns a list of element terms, or ``None`` when ``term`` is not a
+    proper ``$cons``/``$nil`` list.
+    """
+    items = []
+    node = term
+    while True:
+        if node == NIL:
+            return items
+        if isinstance(node, App) and node.name == CONS and len(node.args) == 2:
+            items.append(node.args[0])
+            node = node.args[1]
+            continue
+        return None
+
+
+def is_ground(term):
+    """Module-level alias for :meth:`Term.is_ground`."""
+    return term.is_ground()
+
+
+def variables_of(term):
+    """Module-level alias for :meth:`Term.variables`."""
+    return term.variables()
+
+
+def term_depth(term):
+    """Module-level alias for :meth:`Term.depth`."""
+    return term.depth()
+
+
+def term_size(term):
+    """Module-level alias for :meth:`Term.size`."""
+    return term.size()
+
+
+def subterms(term):
+    """Yield every subterm of ``term`` (including ``term`` itself), pre-order."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, App):
+            stack.append(current.name)
+            stack.extend(reversed(current.args))
+
+
+def functor(term):
+    """Return the outermost *name* of an atom.
+
+    For ``p(a)(X)`` this is the term ``p(a)``; for ``p(a)`` it is the symbol
+    ``p``; for a bare symbol it is the symbol itself.  Used when building
+    predicate-name dependency graphs.
+    """
+    if isinstance(term, App):
+        return term.name
+    return term
+
+
+def outermost_symbol(term):
+    """Return the left-most, inner-most symbol of an atom's name, or ``None``.
+
+    For ``winning(M)(X)`` this is the symbol ``winning``; for ``G(X, Y)``
+    (variable name) it is ``None``.  This is the "outermost functor" used in
+    Section 6 of the paper when assigning levels to predicate names.
+    """
+    node = term
+    while isinstance(node, App):
+        node = node.name
+    if isinstance(node, Sym):
+        return node
+    return None
+
+
+def predicate_name(atom):
+    """Return the predicate-name term of an atom.
+
+    An atom in a rule is either an application (its name is the predicate
+    name, which may itself be a complex term such as ``tc(G)``) or a bare
+    symbol / variable (a 0-argument proposition, its own name).
+    """
+    if isinstance(atom, App):
+        return atom.name
+    return atom
+
+
+def atom_arguments(atom):
+    """Return the tuple of argument terms of an atom (empty for symbols)."""
+    if isinstance(atom, App):
+        return atom.args
+    return ()
+
+
+def rename_variables(term, mapping, counter):
+    """Rename variables in ``term`` apart using ``mapping`` (a dict that is
+    updated in place) and ``counter`` (a one-element list used as a mutable
+    integer).  Returns the renamed term.  Used to standardize rules apart."""
+    if isinstance(term, Var):
+        if term not in mapping:
+            counter[0] += 1
+            mapping[term] = Var("_R%d" % counter[0])
+        return mapping[term]
+    if isinstance(term, App):
+        new_name = rename_variables(term.name, mapping, counter)
+        new_args = tuple(rename_variables(arg, mapping, counter) for arg in term.args)
+        return App(new_name, new_args)
+    return term

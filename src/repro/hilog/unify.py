@@ -1,0 +1,142 @@
+"""Unification and matching of HiLog terms.
+
+Chen, Kifer and Warren show that HiLog unification is decidable and can be
+performed by treating an application ``t(t1, ..., tn)`` as a compound with
+``n + 1`` components (the name and the arguments): two applications unify when
+their names unify, their arities agree and their arguments unify pairwise.
+This module implements most-general unification with the occurs check, and
+one-sided matching (used when grounding rules against ground atoms, where it
+is considerably faster than full unification).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hilog.errors import UnificationError
+from repro.hilog.subst import Substitution
+from repro.hilog.terms import App, Sym, Term, Var
+
+
+def _occurs(variable, term, bindings):
+    """Return True when ``variable`` occurs in ``term`` under ``bindings``."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        while isinstance(current, Var) and current in bindings:
+            current = bindings[current]
+        if isinstance(current, Var):
+            if current == variable:
+                return True
+        elif isinstance(current, App):
+            stack.append(current.name)
+            stack.extend(current.args)
+    return False
+
+
+def _walk(term, bindings):
+    """Dereference a variable through ``bindings`` (non-recursively on Apps)."""
+    while isinstance(term, Var) and term in bindings:
+        term = bindings[term]
+    return term
+
+
+def unify(left, right, subst=None, occurs_check=True):
+    """Unify two HiLog terms.
+
+    Returns the most general unifier extending ``subst`` as a
+    :class:`Substitution`, or ``None`` when the terms do not unify.
+    """
+    bindings = dict(subst.items()) if subst is not None else {}
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        a = _walk(a, bindings)
+        b = _walk(b, bindings)
+        if a == b:
+            continue
+        if isinstance(a, Var):
+            if occurs_check and _occurs(a, b, bindings):
+                return None
+            bindings[a] = b
+            continue
+        if isinstance(b, Var):
+            if occurs_check and _occurs(b, a, bindings):
+                return None
+            bindings[b] = a
+            continue
+        if isinstance(a, App) and isinstance(b, App):
+            if len(a.args) != len(b.args):
+                return None
+            stack.append((a.name, b.name))
+            stack.extend(zip(a.args, b.args))
+            continue
+        # Distinct symbols, or a symbol against an application.
+        return None
+    return Substitution(bindings)
+
+
+def mgu(left, right, occurs_check=True):
+    """Return the most general unifier of two terms, raising on failure."""
+    result = unify(left, right, occurs_check=occurs_check)
+    if result is None:
+        raise UnificationError("terms do not unify: %r and %r" % (left, right))
+    return result
+
+
+def unifiable(left, right, occurs_check=True):
+    """Return True when the two terms unify."""
+    return unify(left, right, occurs_check=occurs_check) is not None
+
+
+def match(pattern, ground, subst=None):
+    """One-sided matching: bind variables of ``pattern`` to make it equal to
+    ``ground``.
+
+    ``ground`` is treated as containing no bindable variables (it is usually a
+    ground atom from a database).  Returns an extending substitution or
+    ``None``.  This is the workhorse of the relevance-driven grounder and the
+    semi-naive engine, where the right-hand side is always ground.
+    """
+    bindings = dict(subst.items()) if subst is not None else {}
+    stack = [(pattern, ground)]
+    while stack:
+        a, b = stack.pop()
+        a = _walk(a, bindings)
+        if isinstance(a, Var):
+            bindings[a] = b
+            continue
+        if a == b:
+            continue
+        if isinstance(a, App) and isinstance(b, App):
+            if len(a.args) != len(b.args):
+                return None
+            stack.append((a.name, b.name))
+            stack.extend(zip(a.args, b.args))
+            continue
+        return None
+    return Substitution(bindings)
+
+
+def variant(left, right):
+    """Return True when two terms are equal up to a renaming of variables."""
+    forward = {}
+    backward = {}
+    stack = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        if isinstance(a, Var) and isinstance(b, Var):
+            if forward.setdefault(a, b) != b:
+                return False
+            if backward.setdefault(b, a) != a:
+                return False
+            continue
+        if isinstance(a, App) and isinstance(b, App):
+            if len(a.args) != len(b.args):
+                return False
+            stack.append((a.name, b.name))
+            stack.extend(zip(a.args, b.args))
+            continue
+        if a != b:
+            return False
+    return True

@@ -1,0 +1,138 @@
+"""The universal-relation ("call"/"apply") encoding of HiLog programs.
+
+Section 2 of the paper explains HiLog's first-order semantics through a
+transformation into a normal program with one generic unary predicate
+``call`` and one generic function ``apply_i`` ("u_i" in the paper) for each
+arity ``i``: an ``n``-ary HiLog atom ``t(t1, ..., tn)`` becomes
+``call(apply_{n+1}(t', t1', ..., tn'))`` where the primes denote recursive
+encoding of nested applications (nested ones without the ``call`` wrapper).
+
+For example (paper, Section 2)::
+
+    p(X, a)(Z)            -->  call(apply_1(apply_2(p, X, a), Z))
+    p(a, X)(Y)(b, f(c)(d)) -->  call(apply_2(apply_1(apply_2(p, a, X), Y), b,
+                                              apply_1(apply_1(f, c), d)))
+
+The least model of the encoded (negation-free) program gives the HiLog
+semantics.  The encoding is also the vehicle for the paper's observation that
+preservation under extensions cannot be reduced to domain independence: two
+HiLog programs sharing no symbols still share ``call`` and the ``apply_i``
+after encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.hilog.program import Literal, Program, Rule
+from repro.hilog.terms import App, Num, Sym, Term, Var
+
+#: The universal relation name (the paper writes ``call``).
+CALL = Sym("call")
+
+#: Prefix of the generic function names; ``apply_3`` plays the role of the
+#: paper's ``u_3``.
+APPLY_PREFIX = "apply_"
+
+
+def apply_symbol(arity):
+    """The generic function symbol of the given arity (``apply_<n>``)."""
+    return Sym("%s%d" % (APPLY_PREFIX, int(arity)))
+
+
+def _is_apply(symbol):
+    return (
+        isinstance(symbol, Sym)
+        and not isinstance(symbol, Num)
+        and symbol.name.startswith(APPLY_PREFIX)
+        and symbol.name[len(APPLY_PREFIX):].isdigit()
+    )
+
+
+def encode_term(term):
+    """Encode a HiLog term as a first-order term over ``apply_i`` functions.
+
+    Symbols and variables encode as themselves; an application
+    ``t(t1,...,tn)`` encodes as ``apply_{n+1}(enc(t), enc(t1), ..., enc(tn))``.
+    """
+    if isinstance(term, (Var, Sym)):
+        return term
+    if isinstance(term, App):
+        encoded_name = encode_term(term.name)
+        encoded_args = tuple(encode_term(arg) for arg in term.args)
+        return App(apply_symbol(len(term.args) + 1), (encoded_name,) + encoded_args)
+    raise TypeError("not a Term: %r" % (term,))
+
+
+def encode_atom(atom):
+    """Encode a HiLog atom as a ``call(...)`` atom of the universal program."""
+    return App(CALL, (encode_term(atom),))
+
+
+def encode_literal(literal):
+    """Encode a literal (preserving its sign).  Builtins are left unchanged."""
+    if literal.is_builtin():
+        return literal
+    return Literal(encode_atom(literal.atom), literal.positive)
+
+
+def encode_rule(rule):
+    """Encode one HiLog rule into the universal-relation form."""
+    if rule.aggregates:
+        raise ValueError("the universal-relation encoding does not cover aggregates")
+    return Rule(
+        encode_atom(rule.head),
+        tuple(encode_literal(literal) for literal in rule.body),
+    )
+
+
+def encode_program(program):
+    """Encode a whole HiLog program into its universal-relation form.
+
+    The result is a *normal* program: every atom is ``call(t)`` for a
+    first-order term ``t`` over the original symbols plus the ``apply_i``.
+    """
+    return Program(tuple(encode_rule(rule) for rule in program.rules))
+
+
+def decode_term(term):
+    """Invert :func:`encode_term` (strict: raises on malformed encodings)."""
+    if isinstance(term, (Var, Sym)) and not (isinstance(term, Sym) and _is_apply(term)):
+        return term
+    if isinstance(term, App) and _is_apply(term.name):
+        expected = int(term.name.name[len(APPLY_PREFIX):])
+        if len(term.args) != expected:
+            raise ValueError("malformed apply term: %r" % (term,))
+        decoded_name = decode_term(term.args[0])
+        decoded_args = tuple(decode_term(arg) for arg in term.args[1:])
+        return App(decoded_name, decoded_args)
+    if isinstance(term, Sym):
+        return term
+    raise ValueError("cannot decode %r" % (term,))
+
+
+def decode_atom(atom):
+    """Invert :func:`encode_atom`: ``call(t)`` back to the HiLog atom."""
+    if isinstance(atom, App) and atom.name == CALL and len(atom.args) == 1:
+        return decode_term(atom.args[0])
+    raise ValueError("not a call/1 atom: %r" % (atom,))
+
+
+def is_call_atom(atom):
+    """True when ``atom`` has the shape ``call(t)``."""
+    return isinstance(atom, App) and atom.name == CALL and len(atom.args) == 1
+
+
+def bridge_rule(predicate_symbol, arity):
+    """The explicit conversion rule the paper mentions for applying encoded
+    generic programs to relations stored as ordinary atoms::
+
+        call(apply_{n+1}(f, X1, ..., Xn)) :- f(X1, ..., Xn)
+
+    One such rule is needed per concrete predicate ``f`` — which is exactly
+    the redundancy HiLog avoids (Section 2 of the paper).
+    """
+    variables = tuple(Var("X%d" % i) for i in range(1, arity + 1))
+    head = App(CALL, (App(apply_symbol(arity + 1), (Sym(str(predicate_symbol)),) + variables),))
+    body_atom = App(Sym(str(predicate_symbol)), variables)
+    return Rule(head, (Literal(body_atom),))

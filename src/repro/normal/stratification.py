@@ -1,0 +1,144 @@
+"""Stratification and local stratification (Definitions 6.1 and 6.2).
+
+* A normal program is **stratified** when predicate names can be assigned
+  ordinal levels such that in every rule the head's level is strictly greater
+  than the level of every negatively occurring predicate and at least as
+  great as the level of every positively occurring predicate.
+
+* A normal program is **locally stratified** when the same holds for ground
+  atoms over the Herbrand instantiation.  For the finite ground programs this
+  reproduction works with, local stratification is equivalent to the ground
+  atom dependency graph having no cycle that contains a negative edge, which
+  is what :func:`is_locally_stratified_ground` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.engine.grounding import GroundProgram, GroundRule
+from repro.hilog.program import Program
+from repro.normal.classify import atom_signature
+from repro.normal.depgraph import (
+    DependencyGraph,
+    predicate_dependency_graph,
+    strongly_connected_components,
+)
+
+
+def stratification_levels(program):
+    """Assign predicate levels witnessing stratification, or return ``None``.
+
+    Levels are computed on the condensation of the predicate dependency
+    graph: a component's level is the maximum over its dependencies of
+    (dependency level + 1 for negative edges, dependency level for positive
+    edges); if a negative edge stays *inside* a component the program is not
+    stratified.
+    """
+    graph = predicate_dependency_graph(program)
+    components, component_of, component_edges = graph.condensation()
+
+    # A negative edge within a single SCC defeats stratification.
+    for source, target in graph.edges():
+        if graph.is_negative_edge(source, target) and component_of[source] == component_of[target]:
+            return None
+
+    levels = {}
+
+    def component_level(index):
+        if index in levels:
+            return levels[index]
+        level = 0
+        for source in components[index]:
+            for target in graph.successors(source):
+                target_component = component_of[target]
+                if target_component == index:
+                    continue
+                dependency_level = component_level(target_component)
+                if graph.is_negative_edge(source, target):
+                    level = max(level, dependency_level + 1)
+                else:
+                    level = max(level, dependency_level)
+        levels[index] = level
+        return level
+
+    result = {}
+    for index in range(len(components)):
+        level = component_level(index)
+        for node in components[index]:
+            result[node] = level
+    return result
+
+
+def is_stratified(program):
+    """Definition 6.1: does a level assignment on predicate names exist?"""
+    return stratification_levels(program) is not None
+
+
+def ground_dependency_graph(ground_program):
+    """The atom dependency graph of a ground program (edges head -> body atom)."""
+    graph = DependencyGraph()
+    for rule in ground_program.rules:
+        graph.add_node(rule.head)
+        for atom in rule.positive:
+            graph.add_edge(rule.head, atom, negative=False)
+        for atom in rule.negative:
+            graph.add_edge(rule.head, atom, negative=True)
+    for atom in ground_program.base:
+        graph.add_node(atom)
+    return graph
+
+
+def is_locally_stratified_ground(ground_program):
+    """Definition 6.2 on a finite ground program: no cycle through negation.
+
+    Equivalent to: within every strongly connected component of the ground
+    atom dependency graph there is no negative edge.
+    """
+    graph = ground_dependency_graph(ground_program)
+    components = graph.strongly_connected_components()
+    component_of = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+    for source, target in graph.edges():
+        if graph.is_negative_edge(source, target) and component_of[source] == component_of[target]:
+            return False
+    return True
+
+
+def local_stratification_levels(ground_program):
+    """Ground-atom levels witnessing local stratification, or ``None``.
+
+    Provided mainly for the tests of Example 6.1: the win/move program over
+    an acyclic move graph is locally stratified only "per game position"."""
+    if not is_locally_stratified_ground(ground_program):
+        return None
+    graph = ground_dependency_graph(ground_program)
+    components, component_of, component_edges = graph.condensation()
+
+    levels = {}
+
+    def component_level(index):
+        if index in levels:
+            return levels[index]
+        level = 0
+        for source in components[index]:
+            for target in graph.successors(source):
+                target_component = component_of[target]
+                if target_component == index:
+                    continue
+                dependency_level = component_level(target_component)
+                if graph.is_negative_edge(source, target):
+                    level = max(level, dependency_level + 1)
+                else:
+                    level = max(level, dependency_level)
+        levels[index] = level
+        return level
+
+    result = {}
+    for index in range(len(components)):
+        level = component_level(index)
+        for atom in components[index]:
+            result[atom] = level
+    return result

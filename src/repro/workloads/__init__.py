@@ -1,0 +1,47 @@
+"""Workload generators for the experiments and benchmarks.
+
+The paper's examples revolve around a handful of program families; this
+package generates parameterized instances of each:
+
+* :mod:`repro.workloads.graphs` — random directed graphs (acyclic chains,
+  DAGs, cyclic graphs) used for transitive closure and the win/move game.
+* :mod:`repro.workloads.games` — the win/move game programs of Examples 6.1,
+  6.3 and 6.6, in normal, HiLog and Datahilog forms, over generated move
+  relations.
+* :mod:`repro.workloads.parts` — part hierarchies and the parts-explosion
+  HiLog program with aggregation (Section 6).
+* :mod:`repro.workloads.random_programs` — random range-restricted normal
+  programs for the reduction-theorem and preservation experiments.
+"""
+
+from repro.workloads.graphs import (
+    chain_edges,
+    cycle_edges,
+    random_dag_edges,
+    random_graph_edges,
+    tree_edges,
+)
+from repro.workloads.games import (
+    datahilog_game_program,
+    hilog_game_program,
+    normal_game_program,
+    multi_game_program,
+)
+from repro.workloads.parts import bicycle_parts_program, parts_explosion_program, random_hierarchy
+from repro.workloads.random_programs import random_range_restricted_program
+
+__all__ = [
+    "chain_edges",
+    "cycle_edges",
+    "tree_edges",
+    "random_dag_edges",
+    "random_graph_edges",
+    "normal_game_program",
+    "hilog_game_program",
+    "datahilog_game_program",
+    "multi_game_program",
+    "bicycle_parts_program",
+    "parts_explosion_program",
+    "random_hierarchy",
+    "random_range_restricted_program",
+]

@@ -1,0 +1,82 @@
+"""The win/move game programs of Examples 6.1, 6.3 and 6.6.
+
+Three formulations are provided:
+
+* :func:`normal_game_program` — the normal program of Example 6.1,
+  ``winning(X) <- move(X, Y), not winning(Y)`` over a single move relation.
+* :func:`hilog_game_program` — the parameterized HiLog program of
+  Example 6.3, ``winning(M)(X) <- game(M), M(X, Y), not winning(M)(Y)``.
+* :func:`datahilog_game_program` — the Datahilog version of Section 6.1,
+  ``winning(M, X) <- game(M), M(X, Y), not winning(M, Y)``, whose relevant
+  atoms are finite by Lemma 6.3.
+
+``multi_game_program`` builds a HiLog (or Datahilog) game program over many
+independent move relations — the workload used by the magic-sets benchmark,
+where a query about one game should not touch the others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hilog.parser import parse_program
+from repro.hilog.program import Program
+
+
+def _fact_lines(relation, edges):
+    return ["%s(%s, %s)." % (relation, source, target) for source, target in edges]
+
+
+def normal_game_program(edges, move_name="move", winning_name="winning"):
+    """Example 6.1: the normal win/move program over the given edges."""
+    lines = ["%s(X) :- %s(X, Y), not %s(Y)." % (winning_name, move_name, winning_name)]
+    lines.extend(_fact_lines(move_name, edges))
+    return parse_program("\n".join(lines))
+
+
+def hilog_game_program(games, game_name="game", winning_name="winning"):
+    """Example 6.3: the parameterized HiLog win/move program.
+
+    ``games`` maps a move-relation name (e.g. ``"move1"``) to its edge list.
+    """
+    lines = [
+        "%s(M)(X) :- %s(M), M(X, Y), not %s(M)(Y)."
+        % (winning_name, game_name, winning_name)
+    ]
+    for relation in sorted(games):
+        lines.append("%s(%s)." % (game_name, relation))
+    for relation in sorted(games):
+        lines.extend(_fact_lines(relation, games[relation]))
+    return parse_program("\n".join(lines))
+
+
+def datahilog_game_program(games, game_name="game", winning_name="winning"):
+    """The Datahilog variant ``winning(M, X)`` of the same game (Section 6.1)."""
+    lines = [
+        "%s(M, X) :- %s(M), M(X, Y), not %s(M, Y)."
+        % (winning_name, game_name, winning_name)
+    ]
+    for relation in sorted(games):
+        lines.append("%s(%s)." % (game_name, relation))
+    for relation in sorted(games):
+        lines.extend(_fact_lines(relation, games[relation]))
+    return parse_program("\n".join(lines))
+
+
+def multi_game_program(edge_lists, style="hilog", game_name="g", winning_name="w",
+                       relation_prefix="move"):
+    """A game program over several independent move relations.
+
+    ``edge_lists`` is a sequence of edge lists; relation ``i`` is named
+    ``<relation_prefix><i>``.  Returns ``(program, relation_names)``.
+    """
+    games = {}
+    for index, edges in enumerate(edge_lists):
+        games["%s%d" % (relation_prefix, index)] = list(edges)
+    if style == "hilog":
+        program = hilog_game_program(games, game_name=game_name, winning_name=winning_name)
+    elif style == "datahilog":
+        program = datahilog_game_program(games, game_name=game_name, winning_name=winning_name)
+    else:
+        raise ValueError("style must be 'hilog' or 'datahilog'")
+    return program, sorted(games)

@@ -1,0 +1,100 @@
+"""Generators for the edge relations used by the game and transitive-closure
+experiments.
+
+All generators return lists of ``(source, target)`` string pairs; the
+program builders in :mod:`repro.workloads.games` turn them into facts.
+Generation is deterministic given the ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+
+def _node(prefix, index):
+    return "%s%d" % (prefix, index)
+
+
+def chain_edges(length, prefix="n"):
+    """A simple path ``n0 -> n1 -> ... -> n<length>`` (acyclic)."""
+    return [(_node(prefix, i), _node(prefix, i + 1)) for i in range(length)]
+
+
+def cycle_edges(length, prefix="c"):
+    """A directed cycle of the given length (not acyclic)."""
+    if length < 1:
+        return []
+    edges = [(_node(prefix, i), _node(prefix, (i + 1) % length)) for i in range(length)]
+    return edges
+
+
+def tree_edges(depth, branching=2, prefix="t"):
+    """A complete tree of the given depth and branching factor, edges parent -> child."""
+    edges = []
+    current = [_node(prefix, 0)]
+    counter = 1
+    for _level in range(depth):
+        next_level = []
+        for parent in current:
+            for _ in range(branching):
+                child = _node(prefix, counter)
+                counter += 1
+                edges.append((parent, child))
+                next_level.append(child)
+        current = next_level
+    return edges
+
+
+def random_dag_edges(nodes, edges, seed=0, prefix="d"):
+    """A random DAG: edges always go from a lower-numbered node to a higher one."""
+    rng = random.Random(seed)
+    if nodes < 2:
+        return []
+    result = set()
+    attempts = 0
+    while len(result) < edges and attempts < edges * 20:
+        attempts += 1
+        source = rng.randrange(0, nodes - 1)
+        target = rng.randrange(source + 1, nodes)
+        result.add((_node(prefix, source), _node(prefix, target)))
+    return sorted(result)
+
+
+def random_graph_edges(nodes, edges, seed=0, prefix="g", allow_self_loops=False):
+    """A random directed graph (may contain cycles)."""
+    rng = random.Random(seed)
+    if nodes < 1:
+        return []
+    result = set()
+    attempts = 0
+    while len(result) < edges and attempts < edges * 20:
+        attempts += 1
+        source = rng.randrange(0, nodes)
+        target = rng.randrange(0, nodes)
+        if source == target and not allow_self_loops:
+            continue
+        result.add((_node(prefix, source), _node(prefix, target)))
+    return sorted(result)
+
+
+def is_acyclic(edge_list):
+    """True when the edge list has no directed cycle (Kahn's algorithm)."""
+    successors = {}
+    indegree = {}
+    nodes = set()
+    for source, target in edge_list:
+        successors.setdefault(source, []).append(target)
+        indegree[target] = indegree.get(target, 0) + 1
+        nodes.add(source)
+        nodes.add(target)
+    queue = [node for node in nodes if indegree.get(node, 0) == 0]
+    visited = 0
+    while queue:
+        node = queue.pop()
+        visited += 1
+        for successor in successors.get(node, ()):
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                queue.append(successor)
+    return visited == len(nodes)

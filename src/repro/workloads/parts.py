@@ -1,0 +1,121 @@
+"""Part hierarchies and the parts-explosion program (Section 6).
+
+The paper solves the parts-explosion problem generically with a HiLog
+program over per-machine part relations ``part_i(X, Y, N)`` ("X has N copies
+of Y as an immediate subpart in machine i"), an ``assoc`` relation mapping a
+machine name to its part relation, recursive multiplication and a grouped
+sum aggregate::
+
+    in(Mach, X, Y, null, N)  <- assoc(Mach, Part), Part(X, Y, N).
+    in(Mach, X, Y, Z, N)     <- assoc(Mach, Part), Part(X, Z, P),
+                                contains(Mach, Z, Y, M), N = P * M.
+    contains(Mach, X, Y, N)  <- N = sum(P : in(Mach, X, Y, _, P)).
+
+``bicycle_parts_program`` builds the paper's running example (a bicycle with
+two wheels of 47 spokes each, so a bicycle contains 94 spokes);
+``random_hierarchy`` generates acyclic hierarchies of configurable depth for
+the benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.hilog.parser import parse_program
+from repro.hilog.program import Program
+
+PARTS_EXPLOSION_RULES = """
+in(Mach, X, Y, null, N) :- assoc(Mach, Part), Part(X, Y, N).
+in(Mach, X, Y, Z, N) :- assoc(Mach, Part), Part(X, Z, P), contains(Mach, Z, Y, M), N = P * M.
+contains(Mach, X, Y, N) :- N = sum(P : in(Mach, X, Y, Z, P)).
+"""
+
+
+def parts_explosion_program(machines):
+    """Build the parts-explosion HiLog program.
+
+    ``machines`` maps a machine name to a dict ``{relation_name: [(whole,
+    part, count), ...]}`` — usually one relation per machine, as in the
+    paper's ``assoc`` discussion.
+    """
+    lines = [PARTS_EXPLOSION_RULES]
+    for machine in sorted(machines):
+        for relation in sorted(machines[machine]):
+            lines.append("assoc(%s, %s)." % (machine, relation))
+            for whole, part, count in machines[machine][relation]:
+                lines.append("%s(%s, %s, %d)." % (relation, whole, part, count))
+    return parse_program("\n".join(lines))
+
+
+def bicycle_parts_program():
+    """The paper's bicycle example: two wheels per bicycle, 47 spokes per wheel."""
+    machines = {
+        "bike": {
+            "part_bike": [
+                ("bicycle", "wheel", 2),
+                ("bicycle", "frame", 1),
+                ("wheel", "spoke", 47),
+                ("wheel", "rim", 1),
+                ("frame", "tube", 3),
+            ]
+        }
+    }
+    return parts_explosion_program(machines)
+
+
+def random_hierarchy(levels, parts_per_level=3, fanout=2, max_count=4, seed=0, prefix="p"):
+    """A random acyclic part hierarchy.
+
+    Parts are organized in ``levels`` layers of ``parts_per_level`` parts
+    each; every part has ``fanout`` immediate subparts drawn from the next
+    layer with counts in ``1..max_count``.  Returns a list of
+    ``(whole, part, count)`` triples.
+    """
+    rng = random.Random(seed)
+    layers = [
+        ["%s_%d_%d" % (prefix, level, index) for index in range(parts_per_level)]
+        for level in range(levels)
+    ]
+    triples = []
+    for level in range(levels - 1):
+        for whole in layers[level]:
+            subparts = rng.sample(layers[level + 1], min(fanout, len(layers[level + 1])))
+            for part in subparts:
+                triples.append((whole, part, rng.randint(1, max_count)))
+    return triples
+
+
+def expected_containment(triples):
+    """Reference implementation of parts explosion in plain Python.
+
+    Returns a dict ``(whole, part) -> total count`` over the transitive
+    containment relation, used by tests and benchmarks to validate the HiLog
+    program's answers.
+    """
+    direct = {}
+    children = {}
+    for whole, part, count in triples:
+        direct[(whole, part)] = direct.get((whole, part), 0) + count
+        children.setdefault(whole, []).append((part, count))
+
+    totals = {}
+
+    def totals_from(node, seen):
+        result = {}
+        for child, count in children.get(node, ()):
+            result[child] = result.get(child, 0) + count
+            if child in seen:
+                raise ValueError("part hierarchy is cyclic at %r" % (child,))
+            for descendant, sub_count in totals_from(child, seen | {child}).items():
+                result[descendant] = result.get(descendant, 0) + count * sub_count
+        return result
+
+    nodes = set(children)
+    for whole, part, _count in triples:
+        nodes.add(whole)
+        nodes.add(part)
+    for node in nodes:
+        for descendant, count in totals_from(node, {node}).items():
+            totals[(node, descendant)] = count
+    return totals

@@ -1,0 +1,60 @@
+"""Tests for the comparison and reporting helpers."""
+
+from repro.analysis.compare import compare_interpretations, hilog_vs_normal_reduction
+from repro.analysis.report import ExperimentRow, format_table, print_table
+from repro.engine.interpretation import Interpretation
+from repro.hilog.parser import parse_program, parse_term
+
+
+def atoms(*texts):
+    return [parse_term(text) for text in texts]
+
+
+class TestCompareInterpretations:
+    def test_equal(self):
+        first = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        second = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        assert compare_interpretations(first, second).equal
+
+    def test_differences_reported(self):
+        first = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        second = Interpretation(atoms("p(b)"), atoms("p(a)"))
+        result = compare_interpretations(first, second)
+        assert not result.equal
+        assert parse_term("p(a)") in result.only_true_in_first
+        assert parse_term("p(b)") in result.only_true_in_second
+
+    def test_undefined_disagreements(self):
+        first = Interpretation(atoms("p(a)"), [], base=atoms("p(a)", "p(b)"))
+        second = Interpretation(atoms("p(a)"), atoms("p(b)"), base=atoms("p(a)", "p(b)"))
+        result = compare_interpretations(first, second)
+        assert parse_term("p(b)") in result.undefined_disagreements
+
+
+class TestReductionHelper:
+    def test_reduction_on_small_program(self):
+        program = parse_program("p(X) :- q(X), not r(X). q(a). r(b).")
+        check = hilog_vs_normal_reduction(program)
+        assert check.well_founded_conservative
+        assert check.stable_correspondence
+        assert check.normal_model.is_true(parse_term("p(a)"))
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [
+            ExperimentRow("row1", {"atoms": 10, "time": 0.5}),
+            ExperimentRow("row2", {"atoms": 20, "time": 1.25}),
+        ]
+        text = format_table("Demo", ["case", "atoms", "time"], rows)
+        assert "Demo" in text
+        assert "row1" in text
+        assert "20" in text
+        assert "1.2500" in text
+
+    def test_print_table_returns_text(self, capsys):
+        rows = [ExperimentRow("only", {"n": 1})]
+        text = print_table("T", ["case", "n"], rows)
+        captured = capsys.readouterr()
+        assert "only" in captured.out
+        assert "only" in text

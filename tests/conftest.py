@@ -1,0 +1,14 @@
+"""Shared pytest configuration.
+
+Ensures the package can be imported straight from the source tree even when
+the editable install is not present (the CI environment has no network, so
+``pip install -e .`` may be unavailable; ``python setup.py develop`` or this
+path fallback both work).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,78 @@
+"""Tests for Datahilog programs (Definition 6.7) and Lemma 6.3."""
+
+import pytest
+
+from repro.core.datahilog import (
+    datahilog_bound,
+    datahilog_relevant_atoms,
+    is_datahilog,
+    program_arities,
+    program_constants,
+    rule_is_datahilog,
+)
+from repro.core.semantics import hilog_well_founded_model
+from repro.hilog.parser import parse_program, parse_rule
+from repro.hilog.terms import Sym
+from repro.workloads.games import datahilog_game_program
+from repro.workloads.graphs import chain_edges
+
+
+class TestDefinition67:
+    def test_paper_positive_example(self):
+        rule = parse_rule("winning(M, X) :- game(M), M(X, Y), not winning(M, Y).")
+        assert rule_is_datahilog(rule)
+
+    def test_paper_negative_example(self):
+        rule = parse_rule("tc(G)(X, Y) :- graph(G), G(X, Z), tc(G)(Z, Y).")
+        assert not rule_is_datahilog(rule)
+
+    def test_function_symbols_disqualify(self):
+        assert not rule_is_datahilog(parse_rule("p(f(X)) :- q(X)."))
+
+    def test_variable_predicate_names_allowed(self):
+        assert rule_is_datahilog(parse_rule("p(X) :- X(a, b)."))
+
+    def test_program_level(self):
+        assert is_datahilog(datahilog_game_program({"m": chain_edges(3)}))
+        assert not is_datahilog(parse_program("winning(M)(X) :- game(M), M(X, Y)."))
+
+    def test_builtins_are_exempt(self):
+        assert rule_is_datahilog(parse_rule("t(X, N) :- c(X, M), N is M * 2."))
+
+
+class TestLemma63:
+    def test_relevant_atom_superset(self):
+        program = parse_program("winning(M, X) :- game(M), M(X, Y), not winning(M, Y). game(m). m(a, b).")
+        atoms = datahilog_relevant_atoms(program)
+        # Every atom not made false by the WFS is inside the Lemma 6.3 set T.
+        model = hilog_well_founded_model(program)
+        for atom in model.true | model.undefined:
+            assert atom in atoms
+
+    def test_bound_formula(self):
+        program = parse_program("p(a, b). q(c).")
+        constants = program_constants(program)
+        assert constants == {Sym("p"), Sym("q"), Sym("a"), Sym("b"), Sym("c")}
+        assert program_arities(program) == {1, 2}
+        # |C|^(n+1) for each arity: 5^2 + 5^3 = 150.
+        assert datahilog_bound(program) == 150
+        assert len(datahilog_relevant_atoms(program)) == 150
+
+    def test_enumeration_guard(self):
+        program = parse_program("p(a, b, c, d, e, f, g, h).")
+        with pytest.raises(ValueError):
+            datahilog_relevant_atoms(program, max_enumeration=1000)
+
+    def test_non_datahilog_rejected(self):
+        with pytest.raises(ValueError):
+            datahilog_relevant_atoms(parse_program("p(f(a))."))
+
+    def test_counterexample_without_strong_range_restriction(self):
+        # The paper notes Lemma 6.3 fails for X(a, b): its (HiLog) model is
+        # infinite, which shows up here as the program not being range
+        # restricted at all (a non-ground fact).
+        from repro.core.range_restriction import is_strongly_range_restricted
+
+        program = parse_program("X(a, b).")
+        assert is_datahilog(program)
+        assert not is_strongly_range_restricted(program)

@@ -1,0 +1,164 @@
+"""Tests for the magic-sets rewriting and query-driven evaluation (Section 6.1)."""
+
+import pytest
+
+from repro.core.magic import (
+    FREE,
+    abstract_call,
+    adornment_of,
+    answer_query,
+    left_to_right_sips,
+    magic_evaluate,
+    magic_rewrite,
+)
+from repro.core.magic.adornment import call_signature, generalize_pattern
+from repro.core.semantics import hilog_well_founded_model
+from repro.hilog.errors import GroundingError, StratificationError
+from repro.hilog.parser import parse_program, parse_query, parse_rule, parse_term
+from repro.hilog.terms import Sym, Var
+from repro.workloads.games import multi_game_program
+from repro.workloads.graphs import chain_edges
+
+
+GAME_66 = parse_program("""
+    w(M)(X) :- g(M), M(X, Y), not w(M)(Y).
+    g(m). g(o).
+    m(n0, n1). m(n1, n2). m(n2, n3).
+    o(a, b).
+""")
+
+
+class TestAdornments:
+    def test_abstract_call(self):
+        atom = parse_term("w(M)(X)")
+        abstracted = abstract_call(atom, bound_variables={Var("M")})
+        assert abstracted == parse_term("w(M)('$free')")
+
+    def test_adornment_of(self):
+        assert adornment_of(parse_term("w(m)(a)")) == "bb"
+        assert adornment_of(abstract_call(parse_term("w(M)(X)"), {Var("M")})) == "bf"
+        assert adornment_of(abstract_call(parse_term("w(M)(X)"), set())) == "ff"
+
+    def test_call_signature_merges_values(self):
+        first = call_signature(parse_term("m(X, Y)"), {Var("X")})
+        second = call_signature(parse_term("m(A, B)"), {Var("A")})
+        assert generalize_pattern(first) == generalize_pattern(second)
+
+
+class TestSips:
+    def test_left_to_right_bindings(self):
+        rule = parse_rule("w(M)(X) :- g(M), M(X, Y), not w(M)(Y).")
+        steps = left_to_right_sips(rule, {Var("M"), Var("X")})
+        assert steps[0].bound_before == frozenset({Var("M"), Var("X")})
+        assert Var("Y") in steps[2].bound_before
+        assert not any(step.flounders for step in steps)
+
+    def test_floundering_negative_subgoal(self):
+        rule = parse_rule("p(X) :- not q(Y), r(X, Y).")
+        steps = left_to_right_sips(rule, {Var("X")})
+        assert steps[0].flounders
+
+    def test_supplementary_variables_only_keep_needed(self):
+        rule = parse_rule("a(X) :- b(X, Y), c(Y, Z), d(X).")
+        steps = left_to_right_sips(rule, {Var("X")})
+        # After c(Y, Z), only X is still needed (by d and the head).
+        assert steps[2].supplementary_variables == (Var("X"),)
+
+
+class TestRewrite:
+    def test_example_6_6_structure(self):
+        rewritten = magic_rewrite(GAME_66, parse_query("w(m)(n0)"))
+        program_text = repr(rewritten.rewritten_program())
+        # Seed fact for the query.
+        assert "magic(w(m)(n0))." in program_text
+        # The four supplementary rules of the game rule (sup_1_0 .. sup_1_3).
+        for index in range(4):
+            assert "sup_1_%d" % index in program_text
+        # Magic rules for the three subgoals, including the negative one.
+        assert "magic(g(" in program_text
+        assert "magic(w(" in program_text
+        # One answer rule per original rule reachable from the query.
+        assert any("w(" in repr(rule.head) for rule in rewritten.answer_rules)
+
+    def test_rewritten_program_is_evaluable_and_correct(self):
+        from repro.engine.grounding import relevant_ground_program
+        from repro.engine.wellfounded import well_founded_model
+
+        rewritten = magic_rewrite(GAME_66, parse_query("w(m)(n0)"))
+        model = well_founded_model(relevant_ground_program(rewritten.rewritten_program()))
+        full = hilog_well_founded_model(GAME_66)
+        atom = parse_term("w(m)(n0)")
+        assert model.is_true(atom) == full.is_true(atom)
+
+    def test_binding_patterns_deduplicated(self):
+        rewritten = magic_rewrite(GAME_66, parse_query("w(m)(n0)"))
+        # The recursive negative call w(M)(Y) has the same (bb) pattern as the
+        # query, so only a handful of patterns are produced.
+        assert len(rewritten.binding_patterns) <= 5
+
+    def test_floundering_rewrite_rejected(self):
+        # With the argument unbound by the query, the leading negative subgoal
+        # is reached with an unbound variable (footnote 10: the program flounders).
+        program = parse_program("p(X) :- not q(X), r(X). r(a). q(a).")
+        with pytest.raises(StratificationError):
+            magic_rewrite(program, parse_query("p(X)"))
+
+    def test_bound_query_does_not_flounder(self):
+        # The same rule is fine when the call binds X before the negation.
+        program = parse_program("p(X) :- not q(X), r(X). r(a). r(b). q(a).")
+        rewritten = magic_rewrite(program, parse_query("p(b)"))
+        assert rewritten.rule_count() > 0
+
+
+class TestMagicEvaluate:
+    def test_agrees_with_full_wfs(self):
+        full = hilog_well_founded_model(GAME_66)
+        for node in ["n0", "n1", "n2", "n3"]:
+            atom = parse_term("w(m)(%s)" % node)
+            result = magic_evaluate(GAME_66, parse_query("w(m)(%s)" % node))
+            assert (atom in result.answers) == full.is_true(atom), node
+
+    def test_open_argument_query(self):
+        answers = answer_query(GAME_66, parse_query("w(m)(X)"))
+        assert set(answers) == {parse_term("w(m)(n0)"), parse_term("w(m)(n2)")}
+
+    def test_open_game_query(self):
+        answers = answer_query(GAME_66, parse_query("w(G)(a)"))
+        assert answers == (parse_term("w(o)(a)"),)
+
+    def test_relevance_skips_other_games(self):
+        edge_lists = [chain_edges(6, "x"), chain_edges(40, "y"), chain_edges(40, "z")]
+        program, relations = multi_game_program(edge_lists)
+        result = magic_evaluate(program, parse_query("w(move0)(x0)"))
+        full = hilog_well_founded_model(program)
+        # Magic evaluation only materializes atoms about the queried game.
+        assert len(result.relevant_atoms) < len(full.base) / 3
+        assert all("y" not in repr(atom) for atom in result.relevant_atoms)
+
+    def test_floundering_query_detected(self):
+        program = parse_program("p(X) :- q(X), not r(Y). q(a). r(b).")
+        with pytest.raises(GroundingError):
+            magic_evaluate(program, parse_query("p(a)"))
+
+    def test_aggregates_rejected(self):
+        program = parse_program("c(N) :- N = sum(P : in(P)). in(3).")
+        with pytest.raises(GroundingError):
+            magic_evaluate(program, parse_query("c(N)"))
+
+    def test_datahilog_game(self):
+        program = parse_program("""
+            w(M, X) :- g(M), M(X, Y), not w(M, Y).
+            g(m). m(a, b). m(b, c).
+        """)
+        assert answer_query(program, parse_query("w(m, a)")) == ()
+        assert answer_query(program, parse_query("w(m, b)")) == (parse_term("w(m, b)"),)
+
+    def test_builtin_in_body(self):
+        program = parse_program("""
+            expensive(X) :- cost(X, C), C > 5.
+            cost(a, 3). cost(b, 9).
+        """)
+        assert answer_query(program, parse_query("expensive(X)")) == (parse_term("expensive(b)"),)
+
+    def test_query_on_missing_predicate(self):
+        assert answer_query(GAME_66, parse_query("nosuch(a)")) == ()

@@ -1,0 +1,192 @@
+"""Tests for modular stratification for HiLog (Section 6, Figure 1)."""
+
+import pytest
+
+from repro.core.modular import (
+    hilog_reduction,
+    is_modularly_stratified_for_hilog,
+    modularly_stratified_for_hilog,
+    perfect_model_for_hilog,
+)
+from repro.core.semantics import hilog_well_founded_model
+from repro.engine.stable import stable_models
+from repro.engine.grounding import relevant_ground_program
+from repro.hilog.errors import StratificationError
+from repro.hilog.parser import parse_program, parse_rule, parse_term
+from repro.hilog.terms import Sym
+from repro.normal.modular import modular_stratification
+from repro.workloads.games import hilog_game_program, normal_game_program
+from repro.workloads.graphs import chain_edges, cycle_edges
+
+
+EXAMPLE_63 = parse_program("""
+    winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).
+    game(move1). game(move2).
+    move1(a, b). move1(b, c).
+    move2(x, y).
+""")
+
+
+class TestExample63:
+    def test_is_modularly_stratified(self):
+        result = modularly_stratified_for_hilog(EXAMPLE_63)
+        assert result.is_modularly_stratified
+        assert result.model.is_total()
+
+    def test_two_rounds(self):
+        result = modularly_stratified_for_hilog(EXAMPLE_63)
+        # Round 1 settles the facts (game, move1, move2); round 2 settles the
+        # two instantiated winning(move_i) components.
+        assert len(result.rounds) == 2
+        assert Sym("game") in result.rounds[0]
+
+    def test_winning_positions(self):
+        model = perfect_model_for_hilog(EXAMPLE_63)
+        assert model.is_true(parse_term("winning(move1)(b)"))
+        assert model.is_false(parse_term("winning(move1)(a)"))
+        assert model.is_false(parse_term("winning(move1)(c)"))
+        assert model.is_true(parse_term("winning(move2)(x)"))
+        assert model.is_false(parse_term("winning(move2)(y)"))
+
+    def test_theorem_6_1_unique_stable_model(self):
+        # The total well-founded model is the unique stable model.
+        model = perfect_model_for_hilog(EXAMPLE_63)
+        ground = relevant_ground_program(EXAMPLE_63)
+        stables = stable_models(ground)
+        assert len(stables) == 1
+        assert stables[0].true == model.true
+
+    def test_matches_well_founded_semantics(self):
+        model = perfect_model_for_hilog(EXAMPLE_63)
+        wfs = hilog_well_founded_model(EXAMPLE_63)
+        assert model.true == wfs.true
+
+    def test_cyclic_game_rejected(self):
+        program = hilog_game_program({"m": cycle_edges(3)})
+        result = modularly_stratified_for_hilog(program)
+        assert not result.is_modularly_stratified
+
+
+class TestExample64:
+    PROGRAM = parse_program("""
+        p(X) :- t(X, Y, Z, p), not p(Y), not p(Z).
+        t(a, b, a, p).
+        t(e, a, b, p).
+        p(b) :- t(X, Y, b, p).
+    """)
+
+    def test_not_modularly_stratified(self):
+        result = modularly_stratified_for_hilog(self.PROGRAM)
+        assert not result.is_modularly_stratified
+        assert "locally stratified" in result.reason
+
+    def test_but_well_founded_model_is_total(self):
+        # The paper notes the program nevertheless has a two-valued
+        # well-founded model with p(b) true and p(a) false.
+        model = hilog_well_founded_model(self.PROGRAM)
+        assert model.is_true(parse_term("p(b)"))
+        assert model.is_false(parse_term("p(a)"))
+        assert model.is_total()
+
+    def test_perfect_model_raises(self):
+        with pytest.raises(StratificationError):
+            perfect_model_for_hilog(self.PROGRAM)
+
+
+class TestExample65Style:
+    def test_settled_head_conflict_is_rejected(self):
+        # A rule whose head becomes a predicate that was already settled (as
+        # universally false) in an earlier round — the conservative rejection
+        # discussed in Example 6.5.
+        program = parse_program("""
+            winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).
+            game(move1).
+            provide(move1(a, b)) :- not winning(move1)(b).
+            X :- provide(X).
+        """)
+        result = modularly_stratified_for_hilog(program)
+        assert not result.is_modularly_stratified
+        assert "already settled" in result.reason
+
+    def test_variable_head_resolved_early_is_accepted(self):
+        # When the variable-headed rule can be reduced before its head name is
+        # needed, the program is accepted and the facts flow through.
+        program = parse_program("""
+            winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).
+            game(move1).
+            X :- supplies(X).
+            supplies(move1(a, b)). supplies(move1(b, c)).
+        """)
+        result = modularly_stratified_for_hilog(program)
+        assert result.is_modularly_stratified
+        assert result.model.is_true(parse_term("winning(move1)(b)"))
+        assert result.model.is_false(parse_term("winning(move1)(a)"))
+
+    def test_no_rules_for_lowest_name_means_universally_false(self):
+        # The paper's post-6.5 example: the only rules mention p in a body,
+        # there are no rules with head p, so p is settled as universally false
+        # and the remaining rule reduces away.
+        program = parse_program("Q(a) :- p(Q), not Q(b).")
+        result = modularly_stratified_for_hilog(program)
+        assert result.is_modularly_stratified
+        assert not result.model.true
+
+
+class TestLemma62:
+    """Modular stratification for HiLog specializes to Ross'90 modular
+    stratification on normal programs."""
+
+    @pytest.mark.parametrize("edges,expected", [
+        (chain_edges(4), True),
+        (chain_edges(7), True),
+        (cycle_edges(3), False),
+        (cycle_edges(4), False),
+    ])
+    def test_same_verdict_on_games(self, edges, expected):
+        program = normal_game_program(edges)
+        assert modular_stratification(program).is_modularly_stratified is expected
+        assert is_modularly_stratified_for_hilog(program) is expected
+
+    def test_same_model_on_acyclic_game(self):
+        program = normal_game_program(chain_edges(5))
+        normal_result = modular_stratification(program)
+        hilog_result = modularly_stratified_for_hilog(program)
+        assert hilog_result.is_modularly_stratified
+        assert normal_result.model.true == hilog_result.model.true
+
+    def test_stratified_program(self):
+        program = parse_program("p(X) :- q(X), not r(X). q(a). q(b). r(b).")
+        assert is_modularly_stratified_for_hilog(program)
+        model = perfect_model_for_hilog(program)
+        assert model.is_true(parse_term("p(a)"))
+        assert model.is_false(parse_term("p(b)"))
+
+
+class TestHiLogReduction:
+    def test_reduction_instantiates_and_deletes_settled_subgoals(self):
+        rule = parse_rule("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).")
+        settled_names = {Sym("game"), Sym("move1")}
+        settled_true = {parse_term("game(move1)"), parse_term("move1(a, b)")}
+        reduced = hilog_reduction([rule], settled_names, settled_true)
+        assert len(reduced) == 1
+        (reduced_rule,) = reduced
+        assert reduced_rule.head == parse_term("winning(move1)(a)")
+        assert [repr(lit) for lit in reduced_rule.body] == ["not winning(move1)(b)"]
+
+    def test_reduction_drops_rules_with_false_settled_subgoals(self):
+        rule = parse_rule("p(X) :- q(X), r(X).")
+        reduced = hilog_reduction([rule], {Sym("q"), Sym("r")}, {parse_term("q(a)")})
+        assert reduced == ()
+
+    def test_reduction_handles_ground_negative_settled_literals(self):
+        rule = parse_rule("p(X) :- q(X), not r(X).")
+        reduced = hilog_reduction(
+            [rule], {Sym("q"), Sym("r")}, {parse_term("q(a)"), parse_term("q(b)"), parse_term("r(a)")}
+        )
+        heads = {r.head for r in reduced}
+        assert heads == {parse_term("p(b)")}
+        assert all(not r.body for r in reduced)
+
+    def test_left_to_right_option_runs(self):
+        result = modularly_stratified_for_hilog(EXAMPLE_63, left_to_right=True)
+        assert result.is_modularly_stratified

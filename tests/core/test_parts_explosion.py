@@ -1,0 +1,87 @@
+"""Tests for the parts-explosion program with aggregation (Section 6)."""
+
+import pytest
+
+from repro.core.modular import modularly_stratified_for_hilog, perfect_model_for_hilog
+from repro.hilog.parser import parse_program, parse_term
+from repro.hilog.terms import App, Num, Sym
+from repro.workloads.parts import (
+    bicycle_parts_program,
+    expected_containment,
+    parts_explosion_program,
+    random_hierarchy,
+)
+
+
+def containment_of(model, machine="bike"):
+    """Extract {(whole, part): count} from the contains atoms of a model."""
+    result = {}
+    for atom in model.true:
+        if isinstance(atom, App) and atom.name == Sym("contains"):
+            mach, whole, part, count = atom.args
+            if mach == Sym(machine):
+                result[(whole.name, part.name)] = count.value
+    return result
+
+
+class TestBicycle:
+    def test_is_modularly_stratified_through_aggregation(self):
+        result = modularly_stratified_for_hilog(bicycle_parts_program())
+        assert result.is_modularly_stratified
+
+    def test_bicycle_has_94_spokes(self):
+        # The paper: two wheels with 47 spokes each -> 94 spokes per bicycle.
+        model = perfect_model_for_hilog(bicycle_parts_program())
+        assert model.is_true(parse_term("contains(bike, bicycle, spoke, 94)"))
+
+    def test_direct_and_transitive_counts(self):
+        model = perfect_model_for_hilog(bicycle_parts_program())
+        counts = containment_of(model)
+        assert counts[("bicycle", "wheel")] == 2
+        assert counts[("bicycle", "rim")] == 2
+        assert counts[("bicycle", "tube")] == 3
+        assert counts[("wheel", "spoke")] == 47
+
+    def test_matches_reference_implementation(self):
+        triples = [
+            ("bicycle", "wheel", 2),
+            ("bicycle", "frame", 1),
+            ("wheel", "spoke", 47),
+            ("wheel", "rim", 1),
+            ("frame", "tube", 3),
+        ]
+        model = perfect_model_for_hilog(bicycle_parts_program())
+        assert containment_of(model) == expected_containment(triples)
+
+
+class TestGeneratedHierarchies:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_hierarchy_matches_reference(self, seed):
+        triples = random_hierarchy(levels=3, parts_per_level=3, fanout=2, seed=seed)
+        program = parts_explosion_program({"mach": {"rel": triples}})
+        model = perfect_model_for_hilog(program)
+        assert containment_of(model, machine="mach") == expected_containment(triples)
+
+    def test_two_machines_share_a_hierarchy(self):
+        # The paper motivates the assoc relation with machines sharing part
+        # hierarchies without duplicating them.
+        triples = [("car", "wheel", 4), ("wheel", "bolt", 5)]
+        program = parts_explosion_program({
+            "sedan": {"common_parts": triples},
+            "wagon": {"common_parts": triples},
+        })
+        model = perfect_model_for_hilog(program)
+        assert model.is_true(parse_term("contains(sedan, car, bolt, 20)"))
+        assert model.is_true(parse_term("contains(wagon, car, bolt, 20)"))
+
+    def test_multiple_paths_are_summed(self):
+        # a has 2 b and 1 c; b has 3 d; c has 4 d -> a contains 2*3 + 1*4 = 10 d.
+        triples = [("a", "b", 2), ("a", "c", 1), ("b", "d", 3), ("c", "d", 4)]
+        program = parts_explosion_program({"m": {"r": triples}})
+        model = perfect_model_for_hilog(program)
+        assert model.is_true(parse_term("contains(m, a, d, 10)"))
+        assert containment_of(model, "m") == expected_containment(triples)
+
+    def test_reference_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            expected_containment([("a", "b", 1), ("b", "a", 1)])

@@ -1,0 +1,153 @@
+"""Tests for preservation under extensions and domain independence (Section 5).
+
+Covers Example 5.1 (a domain-independent HiLog program that is not preserved
+under extensions — preservation is strictly stronger for HiLog), Lemma 5.1
+(for normal programs the notions coincide), Theorem 5.3 (range-restricted
+HiLog programs: WFS preserved), Theorem 5.4 (strongly range-restricted:
+stable semantics preserved) and the paper's counterexample showing that
+Theorem 5.4 needs *strong* range restriction.
+"""
+
+import pytest
+
+from repro.core.domain_independence import check_domain_independence
+from repro.core.preservation import (
+    check_preservation_under_extensions,
+    random_disjoint_extension,
+    stable_over_universe,
+    well_founded_over_universe,
+)
+from repro.hilog.parser import parse_program, parse_term
+
+
+EXAMPLE_51 = parse_program("p :- X(Y), Y(X).")
+PAPER_EXTENSION = parse_program("q(r). r(q).")
+
+
+class TestExample51:
+    def test_p_false_without_extension(self):
+        model = well_founded_over_universe(EXAMPLE_51)
+        assert model.is_false(parse_term("p"))
+
+    def test_p_true_with_the_paper_extension(self):
+        combined = EXAMPLE_51 + PAPER_EXTENSION
+        model = well_founded_over_universe(combined)
+        assert model.is_true(parse_term("p"))
+
+    def test_not_preserved_under_extensions_wfs(self):
+        report = check_preservation_under_extensions(
+            EXAMPLE_51, semantics="well_founded", extensions=[PAPER_EXTENSION]
+        )
+        assert not report.preserved
+        assert report.counterexample is PAPER_EXTENSION
+
+    def test_not_preserved_under_extensions_stable(self):
+        report = check_preservation_under_extensions(
+            EXAMPLE_51, semantics="stable", extensions=[PAPER_EXTENSION]
+        )
+        assert not report.preserved
+
+    def test_but_domain_independent(self):
+        # Adding fresh *symbols* (not rules) does not change the semantics:
+        # the program is domain independent, illustrating that preservation
+        # under extensions is strictly stronger for HiLog programs.
+        report = check_domain_independence(EXAMPLE_51, trials=3)
+        assert report.domain_independent
+
+    def test_random_extensions_also_break_it(self):
+        report = check_preservation_under_extensions(
+            EXAMPLE_51, semantics="well_founded", trials=12, seed=1,
+            extension_kwargs={"n_facts": 2, "n_rules": 0, "max_arity": 1},
+        )
+        # Unary extension facts f(g) + g(f) style pairs are unlikely in two
+        # facts, so this may or may not find a counterexample; the call must
+        # at least run and produce a report.
+        assert report.trials == 12
+
+
+class TestTheorem53:
+    @pytest.mark.parametrize("text", [
+        "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c).",
+        "p(X) :- q(X), not r(X). q(a). r(a).",
+        "tc(G)(X, Y) :- G(X, Y). e(a, b).",
+    ])
+    def test_range_restricted_wfs_preserved(self, text):
+        program = parse_program(text)
+        report = check_preservation_under_extensions(
+            program, semantics="well_founded", trials=6, seed=0,
+            extension_kwargs={"n_facts": 2, "n_rules": 1, "max_arity": 2},
+        )
+        assert report.preserved, report.detail
+
+
+class TestTheorem54:
+    def test_strongly_range_restricted_stable_preserved(self):
+        program = parse_program("p(X) :- q(X), not r(X). q(a). r(b).")
+        report = check_preservation_under_extensions(
+            program, semantics="stable", trials=4, seed=0,
+            extension_kwargs={"n_facts": 2, "n_rules": 1, "max_arity": 1},
+        )
+        assert report.preserved, report.detail
+
+    def test_paper_counterexample_for_plain_range_restriction(self):
+        # P = { X(a) :- X(X), not X(a) } is range restricted but not strongly;
+        # with Q = { r(r) } the union has no stable model although both P and
+        # Q do (Section 5, after Theorem 5.4).
+        program = parse_program("X(a) :- X(X), not X(a).")
+        extension = parse_program("r(r).")
+        assert stable_over_universe(program)  # P alone has a stable model
+        assert stable_over_universe(extension)  # Q alone has a stable model
+        assert stable_over_universe(program + extension) == []
+        report = check_preservation_under_extensions(
+            program, semantics="stable", extensions=[extension]
+        )
+        assert not report.preserved
+
+
+class TestCheckerMechanics:
+    def test_rejects_overlapping_extension(self):
+        program = parse_program("p(a).")
+        overlapping = parse_program("p(b).")
+        with pytest.raises(ValueError):
+            check_preservation_under_extensions(program, extensions=[overlapping])
+
+    def test_random_extension_has_disjoint_symbols(self):
+        import random
+
+        program = parse_program("p(a). q(b).")
+        extension = random_disjoint_extension(program.symbols(), random.Random(0))
+        assert not program.shares_symbols_with(extension)
+        assert extension.is_ground()
+
+    def test_bad_semantics_name(self):
+        with pytest.raises(ValueError):
+            check_preservation_under_extensions(parse_program("p."), semantics="bogus")
+
+
+class TestLemma51ForNormalPrograms:
+    """For normal programs domain independence and preservation coincide; we
+    check both properties hold/fail together on representative programs."""
+
+    def test_range_restricted_normal_program_has_both(self):
+        program = parse_program("p(X) :- q(X), not r(X). q(a).")
+        for language in ("normal", "hilog"):
+            assert check_domain_independence(
+                program, trials=2, language=language
+            ).domain_independent
+            assert check_preservation_under_extensions(
+                program, trials=4, seed=2, language=language,
+                extension_kwargs={"n_facts": 2, "n_rules": 0, "max_arity": 1},
+            ).preserved
+
+    def test_example_4_1_fails_both(self):
+        # Under the classical (first-order) reading Example 4.1's program is
+        # neither domain independent nor preserved under extensions: adding a
+        # constant — whether via the language or via a disjoint fact — flips p.
+        program = parse_program("p :- not q(X). q(a).")
+        assert not check_domain_independence(
+            program, trials=2, language="normal"
+        ).domain_independent
+        report = check_preservation_under_extensions(
+            program, extensions=[parse_program("s(t).")], language="normal"
+        )
+        assert not report.preserved

@@ -1,0 +1,100 @@
+"""Tests for HiLog range restriction (Definitions 5.5/5.6, Example 5.3)."""
+
+import pytest
+
+from repro.core.range_restriction import (
+    classify_program,
+    classify_rule,
+    is_query_range_restricted,
+    is_range_restricted,
+    is_strongly_range_restricted,
+    rule_is_range_restricted,
+    rule_is_strongly_range_restricted,
+)
+from repro.hilog.parser import parse_program, parse_query, parse_rule
+
+
+# The nine clauses of Example 5.3, with their classification.
+EXAMPLE_5_3 = [
+    ("X(Y)(Z) :- p(X, Y, W), W(a)(Z), not W(b)(Z).", "strongly_range_restricted"),
+    ("p(X) :- X(a), q(X).", "strongly_range_restricted"),
+    ("tc(G, X, Y) :- graph(G), G(X, Y).", "strongly_range_restricted"),
+    ("X(Y)(Z) :- p(Y, Z, W), W(a)(Z), not X(b)(Z).", "range_restricted"),
+    ("tc(G)(X, Y) :- G(X, Y).", "range_restricted"),
+    ("not(X)() :- not X.", "range_restricted"),
+    ("X(Y)(Z) :- Z(X, Y, W), W(a)(Z), not W(b)(Z).", "unrestricted"),
+    ("p(X) :- X(a).", "unrestricted"),
+    ("tc(G, X, Y) :- G(X, Y).", "unrestricted"),
+    ("not(X) :- not X.", "unrestricted"),
+]
+
+
+class TestExample53:
+    @pytest.mark.parametrize("text,expected", EXAMPLE_5_3)
+    def test_classification(self, text, expected):
+        assert classify_rule(parse_rule(text)) == expected
+
+    def test_strongly_implies_range_restricted(self):
+        for text, expected in EXAMPLE_5_3:
+            rule = parse_rule(text)
+            if rule_is_strongly_range_restricted(rule):
+                assert rule_is_range_restricted(rule), text
+
+    def test_classify_program(self):
+        program = parse_program("tc(G)(X, Y) :- G(X, Y). graph(e).")
+        classes = classify_program(program)
+        assert set(classes.values()) == {"range_restricted", "strongly_range_restricted"}
+
+
+class TestProgramLevel:
+    def test_game_program_strongly_range_restricted(self):
+        program = parse_program(
+            "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y). game(m). m(a, b)."
+        )
+        assert is_strongly_range_restricted(program)
+        assert is_range_restricted(program)
+
+    def test_unguarded_tc_is_range_restricted_only(self):
+        program = parse_program("tc(G)(X, Y) :- G(X, Y). tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).")
+        assert is_range_restricted(program)
+        assert not is_strongly_range_restricted(program)
+
+    def test_guarded_tc_is_strongly_range_restricted(self):
+        program = parse_program(
+            "tc(G)(X, Y) :- graph(G), G(X, Y). tc(G)(X, Y) :- graph(G), G(X, Z), tc(G)(Z, Y)."
+        )
+        assert is_strongly_range_restricted(program)
+
+    def test_facts_are_strongly_range_restricted(self):
+        assert is_strongly_range_restricted(parse_program("p(a). game(m)."))
+
+    def test_nonground_fact_is_not_range_restricted(self):
+        assert not is_range_restricted(parse_program("p(X, X, a)."))
+
+    def test_paper_counterexample_rule(self):
+        # X(a) :- X(X), not X(a): range restricted but not strongly (Section 5).
+        rule = parse_rule("X(a) :- X(X), not X(a).")
+        assert rule_is_range_restricted(rule)
+        assert not rule_is_strongly_range_restricted(rule)
+
+    def test_builtins_and_aggregates_bind(self):
+        rule = parse_rule("total(X, N) :- cost(X, M), N is M * 2.")
+        assert rule_is_strongly_range_restricted(rule)
+        aggregate_rule = parse_rule("contains(M, X, Y, N) :- N = sum(P : in(M, X, Y, Z, P)).")
+        assert rule_is_range_restricted(aggregate_rule)
+
+
+class TestQueryRangeRestriction:
+    def test_ground_predicate_name_query(self):
+        assert is_query_range_restricted(parse_query("tc(e)(X, Y)"))
+
+    def test_variable_predicate_name_query_not_restricted(self):
+        # Queries must bind predicate names (discussion after Definition 5.5).
+        assert not is_query_range_restricted(parse_query("tc(G)(X, Y)"))
+
+    def test_query_with_binding_literal(self):
+        assert is_query_range_restricted(parse_query("graph(G), tc(G)(X, Y)"))
+
+    def test_negative_query_literal(self):
+        assert is_query_range_restricted(parse_query("p(X), not q(X)"))
+        assert not is_query_range_restricted(parse_query("not q(X)"))

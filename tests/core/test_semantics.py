@@ -1,0 +1,114 @@
+"""Tests for the HiLog well-founded/stable semantics (Section 4).
+
+Covers Example 4.1 (the HiLog semantics differs from the normal semantics on
+non-domain-independent programs) and Theorems 4.1/4.2 (for range-restricted
+normal programs the HiLog semantics conservatively extends the normal one).
+"""
+
+import pytest
+
+from repro.analysis.compare import hilog_vs_normal_reduction
+from repro.core.semantics import (
+    hilog_ground_program,
+    hilog_stable_models,
+    hilog_well_founded_model,
+    normal_stable_models,
+    normal_well_founded_model,
+)
+from repro.engine.interpretation import conservatively_extends
+from repro.hilog.errors import GroundingError
+from repro.hilog.parser import parse_program, parse_term
+from repro.workloads.random_programs import random_range_restricted_program
+
+
+class TestExample41:
+    PROGRAM = "p :- not q(X). q(a)."
+
+    def test_normal_semantics_makes_p_false(self):
+        # Over the normal Herbrand universe {a}, the only instance is
+        # p :- not q(a), and q(a) is true, so p is false.
+        model = normal_well_founded_model(parse_program(self.PROGRAM))
+        assert model.is_false(parse_term("p"))
+
+    def test_hilog_semantics_makes_p_true(self):
+        # Over the HiLog universe there are other substitutions (X/p, X/q(a), ...)
+        # for which q(X) is false, so p becomes true.
+        model = hilog_well_founded_model(
+            parse_program(self.PROGRAM), grounding="universe", max_depth=1
+        )
+        assert model.is_true(parse_term("p"))
+
+    def test_hilog_and_normal_differ_hence_no_conservative_extension(self):
+        program = parse_program(self.PROGRAM)
+        normal_model = normal_well_founded_model(program)
+        hilog_model = hilog_well_founded_model(program, grounding="universe", max_depth=1)
+        assert not conservatively_extends(hilog_model, normal_model,
+                                          smaller_symbols=program.symbols())
+
+    def test_nonground_fact_example(self):
+        # p(X, X, a): normally the only instance is p(a, a, a); in HiLog the
+        # model is infinite — the universe fragment contains e.g. p(p, p, a).
+        program = parse_program("p(X, X, a).")
+        normal_model = normal_well_founded_model(program)
+        assert normal_model.is_true(parse_term("p(a, a, a)"))
+        assert len(normal_model.true) == 1
+        hilog_model = hilog_well_founded_model(program, grounding="universe", max_depth=0)
+        assert hilog_model.is_true(parse_term("p(a, a, a)"))
+        assert hilog_model.is_true(parse_term("p(p, p, a)"))
+
+
+class TestReductionTheorems:
+    def test_theorem_4_1_on_win_move(self):
+        program = parse_program(
+            "winning(X) :- move(X, Y), not winning(Y). move(a, b). move(b, c)."
+        )
+        check = hilog_vs_normal_reduction(program)
+        assert check.well_founded_conservative
+        assert check.stable_correspondence
+
+    def test_theorem_4_1_with_exhaustive_universe_grounding(self):
+        # Small enough vocabulary to ground over the depth-1 HiLog fragment.
+        program = parse_program("p(X) :- q(X), not r(X). q(a). r(b).")
+        check = hilog_vs_normal_reduction(program, grounding="universe", check_stable=False)
+        assert check.well_founded_conservative
+        assert check.hilog_model.is_true(parse_term("p(a)"))
+        assert check.hilog_model.is_false(parse_term("p(q(a))"))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_theorem_4_1_and_4_2_on_random_programs(self, seed):
+        program = random_range_restricted_program(seed=seed)
+        check = hilog_vs_normal_reduction(program)
+        assert check.well_founded_conservative
+        assert check.stable_correspondence
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theorems_with_unstratified_negation(self, seed):
+        program = random_range_restricted_program(seed=seed, negation="free", n_rules=3)
+        check = hilog_vs_normal_reduction(program, check_stable=False)
+        assert check.well_founded_conservative
+
+
+class TestSemanticsEntryPoints:
+    def test_relevant_and_universe_grounding_agree_on_true_atoms(self):
+        program = parse_program("p(X) :- q(X), not r(X). q(a). q(b). r(b).")
+        relevant = hilog_well_founded_model(program, grounding="relevant")
+        universe = hilog_well_founded_model(program, grounding="universe", max_depth=1)
+        assert relevant.true <= universe.true
+        assert {a for a in universe.true} & set(relevant.base) == set(relevant.true)
+
+    def test_stable_models_entry_point(self):
+        program = parse_program("p :- not q. q :- not p. r(a).")
+        models = hilog_stable_models(program, grounding="universe", max_depth=0)
+        assert len(models) == 2
+
+    def test_normal_entry_points_reject_hilog(self):
+        with pytest.raises(GroundingError):
+            normal_well_founded_model(parse_program("winning(M)(X) :- game(M)."))
+
+    def test_unknown_grounding_strategy(self):
+        with pytest.raises(ValueError):
+            hilog_ground_program(parse_program("p."), grounding="bogus")
+
+    def test_normal_stable_models(self):
+        program = parse_program("p :- not q. q :- not p.")
+        assert len(normal_stable_models(program)) == 2

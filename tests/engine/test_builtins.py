@@ -1,0 +1,113 @@
+"""Tests for arithmetic/comparison builtins."""
+
+import pytest
+
+from repro.engine.builtins import (
+    evaluate_arithmetic,
+    evaluate_ground_builtin,
+    is_arithmetic_term,
+    is_builtin_atom,
+    solve_builtin,
+)
+from repro.hilog.errors import EvaluationError
+from repro.hilog.parser import parse_rule, parse_term
+from repro.hilog.subst import Substitution
+from repro.hilog.terms import Num, Sym, Var
+
+
+def builtin(text):
+    """Parse a builtin atom: the term grammar keeps comparisons at the body
+    level, so we parse them through a dummy rule body."""
+    return parse_rule("dummy :- %s." % text).body[0].atom
+
+
+class TestArithmetic:
+    def test_is_arithmetic_term(self):
+        assert is_arithmetic_term(parse_term("1 + 2 * 3"))
+        assert not is_arithmetic_term(parse_term("1 + X"))
+        assert not is_arithmetic_term(parse_term("p(1)"))
+
+    def test_evaluate(self):
+        assert evaluate_arithmetic(parse_term("1 + 2 * 3")) == 7
+        assert evaluate_arithmetic(parse_term("(1 + 2) * 3")) == 9
+        assert evaluate_arithmetic(parse_term("7 / 2")) == 3
+        assert evaluate_arithmetic(parse_term("7 - 10")) == -3
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            evaluate_arithmetic(parse_term("1 / 0"))
+
+    def test_non_arithmetic_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_arithmetic(parse_term("p(1)"))
+
+
+class TestGroundBuiltins:
+    def test_comparisons(self):
+        assert evaluate_ground_builtin(builtin("1 < 2"))
+        assert not evaluate_ground_builtin(builtin("2 < 1"))
+        assert evaluate_ground_builtin(builtin("2 >= 2"))
+        assert evaluate_ground_builtin(builtin("2 =< 3"))
+        assert evaluate_ground_builtin(builtin("3 > 1"))
+
+    def test_equality_structural(self):
+        assert evaluate_ground_builtin(builtin("a = a"))
+        assert not evaluate_ground_builtin(builtin("a = b"))
+        assert evaluate_ground_builtin(builtin("f(a) = f(a)"))
+
+    def test_equality_arithmetic(self):
+        assert evaluate_ground_builtin(builtin("4 = 2 + 2"))
+        assert evaluate_ground_builtin(builtin("4 =:= 2 + 2"))
+        assert evaluate_ground_builtin(builtin("5 =\\= 2 + 2"))
+
+    def test_disequality(self):
+        assert evaluate_ground_builtin(builtin("a \\= b"))
+        assert not evaluate_ground_builtin(builtin("a \\= a"))
+
+    def test_is(self):
+        assert evaluate_ground_builtin(builtin("6 is 2 * 3"))
+        assert not evaluate_ground_builtin(builtin("7 is 2 * 3"))
+
+    def test_is_builtin_atom(self):
+        assert is_builtin_atom(builtin("X < Y"))
+        assert not is_builtin_atom(parse_term("p(X, Y)"))
+
+    def test_comparison_on_symbols_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_ground_builtin(builtin("a < b"))
+
+
+class TestSolveBuiltin:
+    def test_is_binds_left(self):
+        solutions = solve_builtin(builtin("N is 2 * 21"), Substitution())
+        assert len(solutions) == 1
+        assert solutions[0].apply(Var("N")) == Num(42)
+
+    def test_equality_binds_left_to_term(self):
+        solutions = solve_builtin(builtin("X = f(a)"), Substitution())
+        assert solutions[0].apply(Var("X")) == parse_term("f(a)")
+
+    def test_equality_binds_left_to_number(self):
+        solutions = solve_builtin(builtin("X = 2 + 3"), Substitution())
+        assert solutions[0].apply(Var("X")) == Num(5)
+
+    def test_equality_binds_right(self):
+        solutions = solve_builtin(builtin("f(a) = X"), Substitution())
+        assert solutions[0].apply(Var("X")) == parse_term("f(a)")
+
+    def test_ground_check(self):
+        assert solve_builtin(builtin("1 < 2"), Substitution()) != []
+        assert solve_builtin(builtin("2 < 1"), Substitution()) == []
+
+    def test_uses_existing_bindings(self):
+        subst = Substitution({Var("M"): Num(4)})
+        solutions = solve_builtin(builtin("N is M * 2"), subst)
+        assert solutions[0].apply(Var("N")) == Num(8)
+
+    def test_unbound_comparison_raises(self):
+        with pytest.raises(EvaluationError):
+            solve_builtin(builtin("X < Y"), Substitution())
+
+    def test_is_with_unbound_right_raises(self):
+        with pytest.raises(EvaluationError):
+            solve_builtin(builtin("N is M * 2"), Substitution())

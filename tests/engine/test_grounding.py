@@ -1,0 +1,171 @@
+"""Tests for the exhaustive and relevance-driven grounders."""
+
+import pytest
+
+from repro.engine.grounding import (
+    GroundProgram,
+    GroundRule,
+    ground_over_universe,
+    instantiate_rule,
+    relevant_ground_program,
+)
+from repro.hilog.errors import GroundingError
+from repro.hilog.herbrand import HerbrandUniverse
+from repro.hilog.parser import parse_program, parse_rule, parse_term
+from repro.hilog.terms import Sym
+
+
+class TestGroundProgram:
+    def test_base_collects_all_atoms(self):
+        rule = GroundRule(parse_term("p(a)"), (parse_term("q(a)"),), (parse_term("r(a)"),))
+        program = GroundProgram([rule])
+        assert parse_term("p(a)") in program.base
+        assert parse_term("q(a)") in program.base
+        assert parse_term("r(a)") in program.base
+
+    def test_union(self):
+        first = GroundProgram([GroundRule(parse_term("p(a)"), (), ())])
+        second = GroundProgram([GroundRule(parse_term("q(b)"), (), ())])
+        union = first.union(second)
+        assert len(union) == 2
+
+    def test_rules_for(self):
+        rule = GroundRule(parse_term("p(a)"), (), ())
+        program = GroundProgram([rule, GroundRule(parse_term("q(b)"), (), ())])
+        assert program.rules_for(parse_term("p(a)")) == (rule,)
+
+
+class TestExhaustiveGrounding:
+    def test_ground_fact_with_variable(self):
+        program = parse_program("p(X, X, a).")
+        universe = [Sym("a"), Sym("b")]
+        ground = ground_over_universe(program, universe)
+        heads = {rule.head for rule in ground.rules}
+        assert parse_term("p(a, a, a)") in heads
+        assert parse_term("p(b, b, a)") in heads
+        assert len(heads) == 2
+
+    def test_negation_instances(self):
+        program = parse_program("p :- not q(X). q(a).")
+        universe = [Sym("a"), Sym("p"), Sym("q")]
+        ground = ground_over_universe(program, universe)
+        negative_atoms = {atom for rule in ground.rules for atom in rule.negative}
+        assert parse_term("q(a)") in negative_atoms
+        assert parse_term("q(p)") in negative_atoms
+
+    def test_builtins_evaluated_away(self):
+        program = parse_program("p(X) :- q(X), X > 1. q(1). q(2).")
+        ground = ground_over_universe(program, [parse_term("1"), parse_term("2")])
+        heads = {rule.head for rule in ground.rules if rule.positive}
+        assert parse_term("p(2)") in heads
+        assert parse_term("p(1)") not in heads
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(GroundingError):
+            ground_over_universe(parse_program("p(a)."), [])
+
+    def test_aggregates_rejected(self):
+        program = parse_program("c(N) :- N = sum(P : in(P)).")
+        with pytest.raises(GroundingError):
+            ground_over_universe(program, [Sym("a")])
+
+    def test_base_from_universe(self):
+        program = parse_program("p(a).")
+        universe = HerbrandUniverse.of_program(program, max_depth=0)
+        ground = ground_over_universe(program, universe, base_from_universe=True)
+        # p(p), a(a), ... are in the base even though no rule mentions them.
+        assert parse_term("a(a)") in ground.base
+
+
+class TestRelevantGrounding:
+    def test_only_derivable_instances(self):
+        program = parse_program(
+            """
+            win(X) :- move(X, Y), not win(Y).
+            move(a, b). move(b, c).
+            """
+        )
+        ground = relevant_ground_program(program)
+        heads = {rule.head for rule in ground.rules}
+        assert parse_term("win(a)") in heads
+        assert parse_term("win(b)") in heads
+        # win(c) has no outgoing move, so no rule instance has it as a head.
+        assert parse_term("win(c)") not in heads
+        # ... but it occurs negatively, so it is in the base.
+        assert parse_term("win(c)") in ground.base
+
+    def test_hilog_predicate_variable(self):
+        program = parse_program(
+            """
+            tc(G)(X, Y) :- graph(G), G(X, Y).
+            tc(G)(X, Y) :- graph(G), G(X, Z), tc(G)(Z, Y).
+            graph(e).
+            e(1, 2). e(2, 3).
+            """
+        )
+        ground = relevant_ground_program(program)
+        heads = {rule.head for rule in ground.rules}
+        assert parse_term("tc(e)(1, 3)") in heads
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(GroundingError):
+            relevant_ground_program(parse_program("p(X) :- q(a). q(a)."))
+
+    def test_floundering_negative_rejected(self):
+        with pytest.raises(GroundingError):
+            relevant_ground_program(parse_program("p :- not q(X). q(a)."))
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(GroundingError):
+            relevant_ground_program(parse_program("p(X, X, a)."))
+
+    def test_term_depth_guard(self):
+        # The unguarded generic transitive closure of Example 5.2 grows
+        # tc(e), tc(tc(e)), ... without bound; the guard catches it.
+        program = parse_program(
+            """
+            tc(G)(X, Y) :- G(X, Y).
+            tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).
+            e(1, 2). e(2, 3).
+            """
+        )
+        with pytest.raises(GroundingError):
+            relevant_ground_program(program, max_term_depth=8)
+
+    def test_max_atoms_guard(self):
+        program = parse_program(
+            """
+            p(s(X)) :- p(X).
+            p(0).
+            """
+        )
+        with pytest.raises(GroundingError):
+            relevant_ground_program(program, max_atoms=50, max_term_depth=10000)
+
+    def test_extra_facts(self):
+        program = parse_program("p(X) :- q(X).")
+        ground = relevant_ground_program(program, extra_facts=[parse_term("q(a)")])
+        heads = {rule.head for rule in ground.rules}
+        assert parse_term("p(a)") in heads
+
+    def test_builtin_binding_during_grounding(self):
+        program = parse_program("t(X, N) :- c(X, M), N is M + 1. c(a, 1).")
+        ground = relevant_ground_program(program)
+        heads = {rule.head for rule in ground.rules}
+        assert parse_term("t(a, 2)") in heads
+
+
+class TestInstantiateRule:
+    def test_yields_all_matches(self):
+        rule = parse_rule("p(X) :- q(X), r(X).")
+        atoms = [parse_term("q(a)"), parse_term("q(b)"), parse_term("r(a)")]
+        instances = list(instantiate_rule(rule, atoms))
+        assert len(instances) == 1
+        assert instances[0].head == parse_term("p(a)")
+
+    def test_variable_predicate_name_matching(self):
+        rule = parse_rule("w(M)(X) :- g(M), M(X, Y).")
+        atoms = [parse_term("g(m)"), parse_term("m(a, b)")]
+        instances = list(instantiate_rule(rule, atoms))
+        assert len(instances) == 1
+        assert instances[0].head == parse_term("w(m)(a)")

@@ -1,0 +1,123 @@
+"""Tests for three-valued interpretations and the extension relations."""
+
+import pytest
+
+from repro.engine.interpretation import (
+    Interpretation,
+    conservatively_extends,
+    extends,
+    restrict_to_symbols,
+)
+from repro.hilog.parser import parse_term
+from repro.hilog.program import Literal
+from repro.hilog.terms import App, Sym
+
+
+def atoms(*texts):
+    return [parse_term(text) for text in texts]
+
+
+class TestInterpretation:
+    def test_truth_values(self):
+        interp = Interpretation(atoms("p(a)"), atoms("p(b)"), base=atoms("p(a)", "p(b)", "p(c)"))
+        assert interp.is_true(parse_term("p(a)"))
+        assert interp.is_false(parse_term("p(b)"))
+        assert interp.is_undefined(parse_term("p(c)"))
+        assert interp.value(parse_term("p(a)")) == "true"
+        assert interp.value(parse_term("p(b)")) == "false"
+        assert interp.value(parse_term("p(c)")) == "undefined"
+
+    def test_closed_world_outside_base(self):
+        interp = Interpretation(atoms("p(a)"), [])
+        assert interp.is_false(parse_term("q(zzz)"))
+        assert not interp.is_undefined(parse_term("q(zzz)"))
+
+    def test_inconsistency_rejected(self):
+        with pytest.raises(ValueError):
+            Interpretation(atoms("p(a)"), atoms("p(a)"))
+
+    def test_is_total(self):
+        total = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        assert total.is_total()
+        partial = Interpretation(atoms("p(a)"), [], base=atoms("p(a)", "p(b)"))
+        assert not partial.is_total()
+
+    def test_complete(self):
+        partial = Interpretation(atoms("p(a)"), [], base=atoms("p(a)", "p(b)"))
+        assert partial.complete().is_total()
+        assert partial.complete().is_false(parse_term("p(b)"))
+
+    def test_satisfies_literal(self):
+        interp = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        assert interp.satisfies_literal(Literal(parse_term("p(a)")))
+        assert interp.satisfies_literal(Literal(parse_term("p(b)"), positive=False))
+        assert not interp.satisfies_literal(Literal(parse_term("p(b)")))
+
+    def test_union(self):
+        first = Interpretation(atoms("p(a)"), [])
+        second = Interpretation(atoms("q(b)"), atoms("q(c)"))
+        union = first.union(second)
+        assert union.is_true(parse_term("p(a)"))
+        assert union.is_true(parse_term("q(b)"))
+        assert union.is_false(parse_term("q(c)"))
+
+    def test_restrict(self):
+        interp = Interpretation(atoms("p(a)", "q(a)"), [])
+        restricted = interp.restrict(lambda atom: "p" in atom.symbols())
+        assert restricted.is_true(parse_term("p(a)"))
+        assert not restricted.is_true(parse_term("q(a)"))
+
+    def test_restrict_to_symbols(self):
+        interp = Interpretation(atoms("p(a)", "p(zzz)"), [])
+        restricted = restrict_to_symbols(interp, {"p", "a"})
+        assert restricted.is_true(parse_term("p(a)"))
+        assert not restricted.is_true(parse_term("p(zzz)"))
+
+    def test_as_literal_set(self):
+        interp = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        literals = interp.as_literal_set()
+        assert Literal(parse_term("p(a)")) in literals
+        assert Literal(parse_term("p(b)"), positive=False) in literals
+
+
+class TestExtensionRelations:
+    def test_extends_true_preserved(self):
+        smaller = Interpretation(atoms("p(a)"), [], base=atoms("p(a)", "p(b)"))
+        larger_good = Interpretation(atoms("p(a)", "p(b)"), [], base=atoms("p(a)", "p(b)"))
+        larger_bad = Interpretation([], [], base=atoms("p(a)", "p(b)"))
+        assert extends(larger_good, smaller)
+        assert not extends(larger_bad, smaller)
+
+    def test_extends_undefined_must_not_become_false(self):
+        smaller = Interpretation(atoms("p(a)"), [], base=atoms("p(a)", "p(b)"))
+        larger = Interpretation(atoms("p(a)"), atoms("p(b)"), base=atoms("p(a)", "p(b)"))
+        assert not extends(larger, smaller)
+
+    def test_conservative_extension_reflexive(self):
+        interp = Interpretation(atoms("p(a)"), atoms("p(b)"), base=atoms("p(a)", "p(b)", "p(c)"))
+        assert conservatively_extends(interp, interp)
+
+    def test_conservative_extension_new_atoms_must_be_false(self):
+        smaller = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        # p(zzz) uses a new symbol but an old predicate name: must be false.
+        bad = Interpretation(atoms("p(a)", "p(zzz)"), atoms("p(b)"))
+        good = Interpretation(atoms("p(a)"), atoms("p(b)", "p(zzz)"))
+        assert not conservatively_extends(bad, smaller, smaller_symbols={"p", "a", "b"})
+        assert conservatively_extends(good, smaller, smaller_symbols={"p", "a", "b"})
+
+    def test_conservative_extension_new_predicates_unconstrained(self):
+        smaller = Interpretation(atoms("p(a)"), [])
+        larger = Interpretation(atoms("p(a)", "q(zzz)"), [])
+        assert conservatively_extends(larger, smaller, smaller_symbols={"p", "a"})
+
+    def test_conservative_extension_old_atom_must_keep_value(self):
+        smaller = Interpretation(atoms("p(a)"), atoms("p(b)"))
+        flipped = Interpretation(atoms("p(b)"), atoms("p(a)"))
+        assert not conservatively_extends(flipped, smaller, smaller_symbols={"p", "a", "b"})
+
+    def test_conservative_extension_undefined_preserved(self):
+        smaller = Interpretation(atoms("p(a)"), [], base=atoms("p(a)", "p(b)"))
+        same = Interpretation(atoms("p(a)"), [], base=atoms("p(a)", "p(b)", "q(c)"))
+        made_total = Interpretation(atoms("p(a)"), atoms("p(b)"), base=atoms("p(a)", "p(b)"))
+        assert conservatively_extends(same, smaller, smaller_symbols={"p", "a", "b"})
+        assert not conservatively_extends(made_total, smaller, smaller_symbols={"p", "a", "b"})

@@ -1,0 +1,106 @@
+"""Tests for stable models (Definition 3.6 / Example 3.2)."""
+
+import pytest
+
+from repro.engine.grounding import ground_over_universe, relevant_ground_program
+from repro.engine.stable import (
+    false_in_all_stable_models,
+    has_stable_model,
+    is_stable_model,
+    is_two_valued_wp_fixpoint,
+    stable_models,
+    true_in_all_stable_models,
+)
+from repro.engine.wellfounded import well_founded_model
+from repro.hilog.errors import EvaluationError
+from repro.hilog.herbrand import normal_herbrand_universe
+from repro.hilog.parser import parse_program, parse_term
+
+
+def ground_full(text):
+    program = parse_program(text)
+    return ground_over_universe(program, normal_herbrand_universe(program))
+
+
+EXAMPLE_32 = "p :- not q. q :- not p. r :- p. r :- q. t :- p, not p."
+
+
+class TestExample32:
+    def test_two_stable_models(self):
+        program = ground_full(EXAMPLE_32)
+        models = stable_models(program)
+        assert len(models) == 2
+        true_sets = [frozenset(map(repr, model.true)) for model in models]
+        assert frozenset({"p", "r"}) in true_sets
+        assert frozenset({"q", "r"}) in true_sets
+
+    def test_skeptical_entailment(self):
+        # r is true in all stable models; t is false in all stable models.
+        program = ground_full(EXAMPLE_32)
+        assert true_in_all_stable_models(program, parse_term("r"))
+        assert false_in_all_stable_models(program, parse_term("t"))
+        assert not true_in_all_stable_models(program, parse_term("p"))
+        assert not false_in_all_stable_models(program, parse_term("p"))
+
+    def test_well_founded_model_all_undefined(self):
+        # The paper notes the well-founded model of Example 3.2 makes
+        # everything undefined.
+        model = well_founded_model(ground_full(EXAMPLE_32))
+        for atom in ["p", "q", "r", "t"]:
+            assert model.is_undefined(parse_term(atom)), atom
+
+    def test_stable_models_are_wp_fixpoints(self):
+        # Definition 3.6: stable models are exactly the two-valued fixpoints of W_P.
+        program = ground_full(EXAMPLE_32)
+        for model in stable_models(program):
+            assert is_two_valued_wp_fixpoint(program, model)
+
+
+class TestExample31NoStableModel:
+    def test_no_stable_model(self):
+        # u :- not u destroys all stable models (Example 3.1 discussion).
+        program = ground_full("p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u.")
+        assert stable_models(program) == []
+        assert not has_stable_model(program)
+
+
+class TestGeneralProperties:
+    def test_unique_stable_model_when_wfs_total(self):
+        program = relevant_ground_program(parse_program("""
+            win(X) :- move(X, Y), not win(Y).
+            move(a, b). move(b, c).
+        """))
+        wfs = well_founded_model(program)
+        assert wfs.is_total()
+        models = stable_models(program)
+        assert len(models) == 1
+        assert models[0].true == wfs.true
+
+    def test_stable_model_extends_wfs(self):
+        program = ground_full(EXAMPLE_32 + " s :- not z.")
+        wfs = well_founded_model(program)
+        for model in stable_models(program):
+            assert wfs.true <= model.true
+            assert wfs.false <= model.false
+
+    def test_is_stable_model_check(self):
+        program = ground_full("p :- not q.")
+        assert is_stable_model(program, {parse_term("p")})
+        assert not is_stable_model(program, {parse_term("q")})
+        assert not is_stable_model(program, {parse_term("p"), parse_term("q")})
+
+    def test_definite_program_unique_stable_model(self):
+        program = ground_full("a. b :- a. c :- b, a.")
+        models = stable_models(program)
+        assert len(models) == 1
+        assert len(models[0].true) == 3
+
+    def test_branch_limit(self):
+        rules = "\n".join("p%d :- not q%d. q%d :- not p%d." % (i, i, i, i) for i in range(30))
+        program = ground_full(rules)
+        with pytest.raises(EvaluationError):
+            stable_models(program, max_branch_atoms=10)
+
+    def test_limit_parameter(self):
+        program = ground_full(EXAMPLE_32)
+        assert len(stable_models(program, limit=1)) == 1

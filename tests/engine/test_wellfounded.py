@@ -1,0 +1,164 @@
+"""Tests for the well-founded semantics engines (W_P and alternating fixpoint)."""
+
+import pytest
+
+from repro.engine.grounding import relevant_ground_program, ground_over_universe
+from repro.engine.interpretation import Interpretation
+from repro.engine.wellfounded import (
+    greatest_unfounded_set,
+    tp_operator,
+    well_founded_model,
+    well_founded_model_detailed,
+    wp_operator,
+)
+from repro.hilog.herbrand import normal_herbrand_universe
+from repro.hilog.parser import parse_program, parse_term
+
+
+def ground(text):
+    return relevant_ground_program(parse_program(text))
+
+
+def ground_full(text):
+    program = parse_program(text)
+    return ground_over_universe(program, normal_herbrand_universe(program))
+
+
+WIN_MOVE = """
+win(X) :- move(X, Y), not win(Y).
+move(a, b). move(b, c). move(c, d).
+"""
+
+
+class TestOperators:
+    def test_tp_on_empty_interpretation(self):
+        program = ground("p. q :- p. r :- not s.")
+        empty = Interpretation((), (), base=program.base)
+        derived = tp_operator(program, empty)
+        assert parse_term("p") in derived
+        # q needs p *in* the interpretation (not just derivable); r needs ¬s in it.
+        assert parse_term("q") not in derived
+        assert parse_term("r") not in derived
+
+    def test_greatest_unfounded_set(self):
+        # Example 3.1: U_P(∅) = {p, q}.
+        program = ground_full("p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u.")
+        empty = Interpretation((), (), base=program.base)
+        unfounded = greatest_unfounded_set(program, empty)
+        assert parse_term("p") in unfounded
+        assert parse_term("q") in unfounded
+        assert parse_term("s") not in unfounded
+        assert parse_term("u") not in unfounded
+
+    def test_wp_is_monotone_on_chain(self):
+        program = ground_full(WIN_MOVE)
+        current = Interpretation((), (), base=program.base)
+        previous_true, previous_false = set(), set()
+        for _ in range(5):
+            current = wp_operator(program, current)
+            assert previous_true <= current.true
+            assert previous_false <= current.false
+            previous_true, previous_false = set(current.true), set(current.false)
+
+
+class TestWellFoundedModel:
+    def test_win_move_chain(self):
+        model = well_founded_model(ground(WIN_MOVE))
+        assert model.is_true(parse_term("win(a)"))
+        assert model.is_false(parse_term("win(b)"))
+        assert model.is_true(parse_term("win(c)"))
+        assert model.is_false(parse_term("win(d)"))
+        assert model.is_total()
+
+    def test_win_move_cycle_is_partial(self):
+        model = well_founded_model(ground("""
+            win(X) :- move(X, Y), not win(Y).
+            move(a, b). move(b, a). move(c, a).
+        """))
+        # The a/b two-cycle leaves win(a), win(b) undefined, and win(c)
+        # (which depends on win(a)) is undefined too.
+        assert model.is_undefined(parse_term("win(a)"))
+        assert model.is_undefined(parse_term("win(b)"))
+        assert model.is_undefined(parse_term("win(c)"))
+
+    def test_win_move_cycle_with_escape_is_total(self):
+        # b can escape the cycle to c (which has no moves), so b wins and a loses.
+        model = well_founded_model(ground("""
+            win(X) :- move(X, Y), not win(Y).
+            move(a, b). move(b, a). move(b, c).
+        """))
+        assert model.is_true(parse_term("win(b)"))
+        assert model.is_false(parse_term("win(a)"))
+        assert model.is_total()
+
+    def test_both_engines_agree(self):
+        for text in [
+            WIN_MOVE,
+            "p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u.",
+            "p :- not q. q :- not p. r :- p. r :- q. t :- p, not p.",
+            "a :- not b. b :- not a. c :- not c.",
+        ]:
+            program = ground_full(text)
+            wp = well_founded_model(program, engine="wp")
+            alternating = well_founded_model(program, engine="alternating")
+            assert wp.true == alternating.true, text
+            assert wp.false == alternating.false, text
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            well_founded_model(ground("p."), engine="bogus")
+
+    def test_detailed_reports_iterations(self):
+        result = well_founded_model_detailed(ground(WIN_MOVE))
+        assert result.iterations >= 1
+        assert result.engine == "alternating"
+
+    def test_positive_program_is_least_model(self):
+        model = well_founded_model(ground("""
+            edge(a, b). edge(b, c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """))
+        assert model.is_true(parse_term("path(a, c)"))
+        assert model.is_total()
+
+    def test_facts_only(self):
+        model = well_founded_model(ground("p(a). q(b)."))
+        assert model.is_true(parse_term("p(a)"))
+        assert model.is_total()
+
+    def test_empty_program(self):
+        from repro.engine.grounding import GroundProgram
+
+        model = well_founded_model(GroundProgram([]))
+        assert model.is_total()
+        assert not model.true
+
+
+class TestPaperExample31:
+    """Example 3.1 of the paper, including the intermediate iterations."""
+
+    PROGRAM = "p :- q. q :- p. r :- s, not p. s. t :- not r. u :- not u."
+
+    def test_final_model(self):
+        model = well_founded_model(ground_full(self.PROGRAM), engine="wp")
+        assert model.is_true(parse_term("r"))
+        assert model.is_true(parse_term("s"))
+        assert model.is_false(parse_term("p"))
+        assert model.is_false(parse_term("q"))
+        assert model.is_false(parse_term("t"))
+        assert model.is_undefined(parse_term("u"))
+
+    def test_iteration_trace(self):
+        # I1 = {s, ¬p, ¬q}; I2 adds r; I3 adds ¬t; I3 is the fixpoint.
+        program = ground_full(self.PROGRAM)
+        i0 = Interpretation((), (), base=program.base)
+        i1 = wp_operator(program, i0)
+        assert i1.true == {parse_term("s")}
+        assert {parse_term("p"), parse_term("q")} <= i1.false
+        i2 = wp_operator(program, i1)
+        assert parse_term("r") in i2.true
+        i3 = wp_operator(program, i2)
+        assert parse_term("t") in i3.false
+        i4 = wp_operator(program, i3)
+        assert i4.true == i3.true and i4.false == i3.false

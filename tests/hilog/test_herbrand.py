@@ -1,0 +1,89 @@
+"""Tests for Herbrand universe enumeration."""
+
+import pytest
+
+from repro.hilog.herbrand import HerbrandUniverse, herbrand_symbols, normal_herbrand_universe
+from repro.hilog.parser import parse_program
+from repro.hilog.terms import App, Sym
+
+
+class TestHerbrandSymbols:
+    def test_symbols_of_program(self):
+        program = parse_program("p(a) :- q(b).")
+        assert herbrand_symbols(program) == frozenset({"p", "q", "a", "b"})
+
+    def test_extra_symbols(self):
+        program = parse_program("p(a).")
+        assert "zzz" in herbrand_symbols(program, extra_symbols=["zzz"])
+
+    def test_empty_program_gets_a_constant(self):
+        assert len(herbrand_symbols(parse_program(""))) == 1
+
+
+class TestHerbrandUniverse:
+    def test_depth_zero_is_just_symbols(self):
+        universe = HerbrandUniverse(["a", "b"], max_depth=0)
+        assert set(universe.terms()) == {Sym("a"), Sym("b")}
+
+    def test_depth_one_unary(self):
+        universe = HerbrandUniverse(["a", "b"], max_depth=1, max_arity=1)
+        terms = set(universe.terms())
+        # 2 symbols + 2*2 unary applications.
+        assert len(terms) == 6
+        assert App(Sym("a"), (Sym("b"),)) in terms
+        assert App(Sym("b"), (Sym("b"),)) in terms
+
+    def test_depth_one_binary_count(self):
+        universe = HerbrandUniverse(["a", "b"], max_depth=1, max_arity=2)
+        # 2 symbols + 2*2 unary + 2*4 binary = 14.
+        assert len(universe) == 14
+
+    def test_membership(self):
+        universe = HerbrandUniverse(["a", "p"], max_depth=1, max_arity=1)
+        assert Sym("a") in universe
+        assert App(Sym("p"), (Sym("a"),)) in universe
+        assert App(Sym("p"), (App(Sym("p"), (Sym("a"),)),)) not in universe  # depth 2
+        assert Sym("zzz") not in universe
+
+    def test_depth_two_contains_nested(self):
+        universe = HerbrandUniverse(["a"], max_depth=2, max_arity=1)
+        assert App(Sym("a"), (App(Sym("a"), (Sym("a"),)),)) in universe
+        assert App(App(Sym("a"), (Sym("a"),)), (Sym("a"),)) in universe
+
+    def test_of_program_defaults(self):
+        program = parse_program("p(a, b).")
+        universe = HerbrandUniverse.of_program(program)
+        assert universe.max_arity == 2
+        assert Sym("p") in universe
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HerbrandUniverse(["a"], max_depth=-1)
+        with pytest.raises(ValueError):
+            HerbrandUniverse(["a"], max_arity=0)
+
+    def test_universe_of_empty_symbols_nonempty(self):
+        universe = HerbrandUniverse([])
+        assert len(universe.constants()) == 1
+
+
+class TestNormalHerbrandUniverse:
+    def test_constants_only(self):
+        program = parse_program("p(a, b) :- q(c).")
+        constants = normal_herbrand_universe(program)
+        assert set(constants) == {Sym("a"), Sym("b"), Sym("c")}
+
+    def test_predicate_symbols_are_not_constants(self):
+        program = parse_program("p(a) :- q(a).")
+        constants = normal_herbrand_universe(program)
+        assert Sym("p") not in constants
+        assert Sym("q") not in constants
+
+    def test_example_4_1_universe_is_singleton(self):
+        # The normal Herbrand universe of {p :- not q(X).  q(a).} is {a}.
+        program = parse_program("p :- not q(X). q(a).")
+        assert normal_herbrand_universe(program) == [Sym("a")]
+
+    def test_fresh_constant_when_none(self):
+        program = parse_program("p :- q.")
+        assert len(normal_herbrand_universe(program)) == 1

@@ -1,0 +1,191 @@
+"""Tests for the HiLog lexer and parser."""
+
+import pytest
+
+from repro.hilog.errors import ParseError
+from repro.hilog.parser import parse_program, parse_query, parse_rule, parse_term
+from repro.hilog.program import AggregateSpec, Literal
+from repro.hilog.terms import App, CONS, NIL, Num, Sym, Var
+
+
+class TestTerms:
+    def test_symbol(self):
+        assert parse_term("abc") == Sym("abc")
+
+    def test_variable(self):
+        assert parse_term("X") == Var("X")
+        assert parse_term("Rest") == Var("Rest")
+
+    def test_number(self):
+        assert parse_term("42") == Num(42)
+
+    def test_quoted_atom(self):
+        assert parse_term("'hello world'") == Sym("hello world")
+
+    def test_simple_application(self):
+        assert parse_term("p(a, X)") == App(Sym("p"), (Sym("a"), Var("X")))
+
+    def test_zero_arity_application(self):
+        assert parse_term("p()") == App(Sym("p"), ())
+        assert parse_term("p()") != Sym("p")
+
+    def test_nested_application(self):
+        term = parse_term("tc(G)(X, Y)")
+        assert term == App(App(Sym("tc"), (Var("G"),)), (Var("X"), Var("Y")))
+
+    def test_variable_as_predicate_name(self):
+        assert parse_term("G(X, Y)") == App(Var("G"), (Var("X"), Var("Y")))
+
+    def test_triple_application(self):
+        term = parse_term("p(a, X)(Y)(b)")
+        inner = App(Sym("p"), (Sym("a"), Var("X")))
+        middle = App(inner, (Var("Y"),))
+        assert term == App(middle, (Sym("b"),))
+
+    def test_complex_paper_atom(self):
+        # p(a, X)(Y)(b, f(c)(d)) from Section 2 of the paper.
+        term = parse_term("p(a, X)(Y)(b, f(c)(d))")
+        assert term.args[1] == App(App(Sym("f"), (Sym("c"),)), (Sym("d"),))
+
+    def test_list_syntax(self):
+        assert parse_term("[]") == NIL
+        assert parse_term("[a]") == App(CONS, (Sym("a"), NIL))
+        assert parse_term("[a, b]") == App(CONS, (Sym("a"), App(CONS, (Sym("b"), NIL))))
+
+    def test_list_with_tail(self):
+        assert parse_term("[X | R]") == App(CONS, (Var("X"), Var("R")))
+
+    def test_arithmetic_expression(self):
+        assert parse_term("P * M") == App(Sym("*"), (Var("P"), Var("M")))
+        assert parse_term("1 + 2 * 3") == App(Sym("+"), (Num(1), App(Sym("*"), (Num(2), Num(3)))))
+
+    def test_parenthesized_expression(self):
+        assert parse_term("(1 + 2) * 3") == App(Sym("*"), (App(Sym("+"), (Num(1), Num(2))), Num(3)))
+
+    def test_anonymous_variables_are_distinct(self):
+        term = parse_term("p(_, _)")
+        assert term.args[0] != term.args[1]
+
+    def test_comments_are_skipped(self):
+        program = parse_program("% a comment\np(a). /* block\ncomment */ q(b).")
+        assert len(program) == 2
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse_term("p(")
+        with pytest.raises(ParseError):
+            parse_term("p(a) q")
+        with pytest.raises(ParseError):
+            parse_program("p(a)")  # missing final full stop
+
+    def test_error_reports_location(self):
+        try:
+            parse_program("p(a).\nq :- .")
+        except ParseError as error:
+            assert error.line == 2
+        else:
+            raise AssertionError("expected a ParseError")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("p(a).")
+        assert rule.is_fact()
+        assert rule.head == App(Sym("p"), (Sym("a"),))
+
+    def test_rule_with_body(self):
+        rule = parse_rule("tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).")
+        assert len(rule.body) == 2
+        assert all(literal.positive for literal in rule.body)
+
+    def test_negation_keyword(self):
+        rule = parse_rule("winning(X) :- move(X, Y), not winning(Y).")
+        assert rule.body[1].negative
+        assert rule.body[1].atom == App(Sym("winning"), (Var("Y"),))
+
+    def test_negation_backslash_plus(self):
+        rule = parse_rule("p :- \\+ q(X).")
+        assert rule.body[0].negative
+
+    def test_negation_tilde(self):
+        rule = parse_rule("p :- ~q(X).")
+        assert rule.body[0].negative
+
+    def test_not_as_symbol_application(self):
+        # Example 5.3 uses not(X)() as an ordinary atom.
+        rule = parse_rule("not(X)() :- not X.")
+        assert rule.head == App(App(Sym("not"), (Var("X"),)), ())
+        assert rule.body[0].negative
+        assert rule.body[0].atom == Var("X")
+
+    def test_builtin_comparison(self):
+        rule = parse_rule("big(X) :- cost(X, M), M > 3.")
+        assert rule.body[1].is_builtin()
+
+    def test_builtin_is(self):
+        rule = parse_rule("total(X, N) :- cost(X, M), N is M * 2.")
+        builtin = rule.body[1]
+        assert builtin.is_builtin()
+        assert builtin.atom.name == Sym("is")
+
+    def test_builtin_equality_with_expression(self):
+        rule = parse_rule("r(N) :- q(P, M), N = P * M.")
+        assert rule.body[1].is_builtin()
+
+    def test_aggregate(self):
+        rule = parse_rule("contains(Mach, X, Y, N) :- N = sum(P : in(Mach, X, Y, Z, P)).")
+        assert len(rule.aggregates) == 1
+        aggregate = rule.aggregates[0]
+        assert isinstance(aggregate, AggregateSpec)
+        assert aggregate.op == "sum"
+        assert aggregate.result == Var("N")
+        assert aggregate.value == Var("P")
+
+    def test_equality_that_is_not_an_aggregate(self):
+        rule = parse_rule("p(X) :- q(Y), X = Y.")
+        assert not rule.aggregates
+        assert rule.body[1].is_builtin()
+
+    def test_game_rule(self):
+        rule = parse_rule("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).")
+        assert rule.head == App(App(Sym("winning"), (Var("M"),)), (Var("X"),))
+        assert rule.body[2].negative
+
+
+class TestProgramsAndQueries:
+    def test_program(self):
+        program = parse_program(
+            """
+            tc(G)(X, Y) :- G(X, Y).
+            tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).
+            e(1, 2).
+            """
+        )
+        assert len(program) == 3
+        assert len(program.facts()) == 1
+
+    def test_maplist_program(self):
+        program = parse_program(
+            """
+            maplist(F)([], []).
+            maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z).
+            """
+        )
+        assert len(program) == 2
+
+    def test_query_with_prefix(self):
+        literals = parse_query("?- w(m)(a).")
+        assert len(literals) == 1
+        assert literals[0].positive
+
+    def test_query_without_prefix(self):
+        literals = parse_query("w(m)(X), not w(m)(Y)")
+        assert len(literals) == 2
+        assert literals[1].negative
+
+    def test_query_rejects_aggregates(self):
+        with pytest.raises(ParseError):
+            parse_query("N = sum(P : in(a, b, c, Z, P))")
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0

@@ -1,0 +1,69 @@
+"""Tests for the pretty printer, including parse/format round trips."""
+
+from repro.hilog.parser import parse_program, parse_rule, parse_term
+from repro.hilog.pretty import format_program, format_rule, format_term
+from repro.hilog.terms import App, Num, Sym, Var, make_list
+
+
+class TestFormatTerm:
+    def test_symbol(self):
+        assert format_term(Sym("abc")) == "abc"
+
+    def test_quoted_symbol(self):
+        assert format_term(Sym("hello world")) == "'hello world'"
+        assert parse_term(format_term(Sym("hello world"))) == Sym("hello world")
+
+    def test_number(self):
+        assert format_term(Num(42)) == "42"
+
+    def test_variable(self):
+        assert format_term(Var("Xs")) == "Xs"
+
+    def test_application(self):
+        assert format_term(parse_term("tc(G)(X, Y)")) == "tc(G)(X, Y)"
+
+    def test_list(self):
+        assert format_term(make_list([Sym("a"), Num(1)])) == "[a, 1]"
+        assert format_term(parse_term("[X | R]")) == "[X | R]"
+        assert format_term(parse_term("[]")) == "[]"
+
+    def test_infix_builtin(self):
+        assert format_term(parse_term("P * M")) == "P * M"
+        assert format_term(parse_term("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+
+class TestRoundTrips:
+    CASES = [
+        "p(a, X)",
+        "tc(G)(X, Y)",
+        "p(a, X)(Y)(b, f(c)(d))",
+        "winning(M)(X)",
+        "p()",
+        "[a, b, c]",
+        "[X | Rest]",
+        "not(X)()",
+        "f(g(h(a)))",
+    ]
+
+    def test_term_round_trips(self):
+        for text in self.CASES:
+            term = parse_term(text)
+            assert parse_term(format_term(term)) == term, text
+
+    RULES = [
+        "p(a).",
+        "tc(G)(X, Y) :- G(X, Z), tc(G)(Z, Y).",
+        "winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).",
+        "total(X, N) :- cost(X, M), N is M * 2.",
+        "contains(Mach, X, Y, N) :- N = sum(P : in(Mach, X, Y, Z, P)).",
+        "maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z).",
+    ]
+
+    def test_rule_round_trips(self):
+        for text in self.RULES:
+            rule = parse_rule(text)
+            assert parse_rule(format_rule(rule)) == rule, text
+
+    def test_program_round_trip(self):
+        program = parse_program("\n".join(self.RULES))
+        assert parse_program(format_program(program)) == program

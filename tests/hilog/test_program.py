@@ -1,0 +1,129 @@
+"""Tests for literals, rules and programs."""
+
+import pytest
+
+from repro.hilog.parser import parse_program, parse_rule
+from repro.hilog.program import AggregateSpec, Literal, Program, Rule
+from repro.hilog.subst import Substitution
+from repro.hilog.terms import App, Sym, Var
+
+
+class TestLiteral:
+    def test_negate(self):
+        literal = Literal(Sym("p"))
+        assert literal.negate().negative
+        assert literal.negate().negate() == literal
+
+    def test_substitute(self):
+        literal = Literal(App(Sym("p"), (Var("X"),)))
+        substituted = literal.substitute(Substitution({Var("X"): Sym("a")}))
+        assert substituted.atom == App(Sym("p"), (Sym("a"),))
+
+    def test_is_builtin(self):
+        assert Literal(App(Sym("<"), (Var("X"), Var("Y")))).is_builtin()
+        assert not Literal(App(Sym("p"), (Var("X"),))).is_builtin()
+
+    def test_predicate(self):
+        literal = Literal(App(App(Sym("tc"), (Sym("e"),)), (Var("X"),)))
+        assert literal.predicate() == App(Sym("tc"), (Sym("e"),))
+
+
+class TestRule:
+    def test_fact_detection(self):
+        assert parse_rule("p(a).").is_fact()
+        assert not parse_rule("p(a) :- q(a).").is_fact()
+
+    def test_positive_negative_builtin_partition(self):
+        rule = parse_rule("h(X) :- a(X), not b(X), X > 3, c(X).")
+        assert [repr(l.atom) for l in rule.positive_literals()] == ["a(X)", "c(X)"]
+        assert [repr(l.atom) for l in rule.negative_literals()] == ["b(X)"]
+        assert len(rule.builtin_literals()) == 1
+
+    def test_variables_and_symbols(self):
+        rule = parse_rule("winning(M)(X) :- game(M), M(X, Y), not winning(M)(Y).")
+        assert rule.variables() == {Var("M"), Var("X"), Var("Y")}
+        assert rule.symbols() == {"winning", "game"}
+
+    def test_head_predicate(self):
+        rule = parse_rule("winning(M)(X) :- game(M).")
+        assert rule.head_predicate() == App(Sym("winning"), (Var("M"),))
+
+    def test_substitute(self):
+        rule = parse_rule("p(X) :- q(X).")
+        ground = rule.substitute(Substitution({Var("X"): Sym("a")}))
+        assert ground.is_ground()
+
+    def test_rename_apart(self):
+        rule = parse_rule("p(X) :- q(X, Y).")
+        counter = [0]
+        first = rule.rename_apart(counter)
+        second = rule.rename_apart(counter)
+        assert first.variables().isdisjoint(second.variables())
+        assert first.variables().isdisjoint(rule.variables())
+
+    def test_rename_apart_preserves_aggregates(self):
+        rule = parse_rule("c(X, N) :- N = sum(P : in(X, Z, P)).")
+        renamed = rule.rename_apart([0])
+        assert len(renamed.aggregates) == 1
+        assert renamed.aggregates[0].op == "sum"
+
+    def test_is_ground(self):
+        assert parse_rule("p(a) :- q(b).").is_ground()
+        assert not parse_rule("p(X) :- q(X).").is_ground()
+
+
+class TestProgram:
+    def test_union_removes_duplicates(self):
+        first = parse_program("p(a). q(b).")
+        second = parse_program("q(b). r(c).")
+        union = first + second
+        assert len(union) == 3
+
+    def test_symbols_exclude_builtins(self):
+        program = parse_program("p(X) :- q(X, M), X > M.")
+        assert program.symbols() == {"p", "q"}
+
+    def test_is_normal(self):
+        assert parse_program("p(X) :- q(X), not r(X).").is_normal()
+        assert not parse_program("p(X) :- G(X).").is_normal()
+        assert not parse_program("tc(G)(X, Y) :- G(X, Y).").is_normal()
+
+    def test_has_negation(self):
+        assert parse_program("p :- not q.").has_negation()
+        assert not parse_program("p :- q.").has_negation()
+
+    def test_has_aggregates(self):
+        assert parse_program("c(N) :- N = sum(P : in(P)).").has_aggregates()
+        assert not parse_program("c(N) :- in(N).").has_aggregates()
+
+    def test_head_predicates(self):
+        program = parse_program("winning(M)(X) :- game(M). game(m1).")
+        heads = program.head_predicates()
+        assert App(Sym("winning"), (Var("M"),)) in heads
+        assert Sym("game") in heads
+
+    def test_ground_predicate_names(self):
+        program = parse_program("winning(M)(X) :- game(M), M(X, Y). game(m1).")
+        names = program.ground_predicate_names()
+        assert Sym("game") in names
+        # winning(M) and M are not ground predicate names.
+        assert all(name.is_ground() for name in names)
+
+    def test_rules_for(self):
+        program = parse_program("p(a). p(b) :- q(b). q(b).")
+        assert len(program.rules_for(Sym("p"))) == 2
+
+    def test_shares_symbols_with(self):
+        first = parse_program("p(a).")
+        second = parse_program("q(a).")
+        third = parse_program("q(b).")
+        assert first.shares_symbols_with(second)
+        assert not first.shares_symbols_with(third)
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            Program(("not a rule",))
+        with pytest.raises(TypeError):
+            Rule("not a term")
+        with pytest.raises(TypeError):
+            Rule(Sym("p"), ("not a literal",))

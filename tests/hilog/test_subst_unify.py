@@ -1,0 +1,169 @@
+"""Tests for substitutions, unification and matching."""
+
+import pytest
+
+from repro.hilog.errors import UnificationError
+from repro.hilog.subst import Substitution, compose, empty_substitution
+from repro.hilog.terms import App, Sym, Var
+from repro.hilog.unify import match, mgu, unifiable, unify, variant
+
+
+def p(*args):
+    return App(Sym("p"), args)
+
+
+class TestSubstitution:
+    def test_empty(self):
+        assert empty_substitution().is_empty()
+
+    def test_apply_to_variable(self):
+        subst = Substitution({Var("X"): Sym("a")})
+        assert subst.apply(Var("X")) == Sym("a")
+        assert subst.apply(Var("Y")) == Var("Y")
+
+    def test_apply_inside_application(self):
+        subst = Substitution({Var("X"): Sym("a")})
+        assert subst.apply(p(Var("X"), Var("Y"))) == p(Sym("a"), Var("Y"))
+
+    def test_apply_to_predicate_name_position(self):
+        subst = Substitution({Var("G"): Sym("e")})
+        term = App(Var("G"), (Sym("a"), Sym("b")))
+        assert subst.apply(term) == App(Sym("e"), (Sym("a"), Sym("b")))
+
+    def test_transitive_bindings(self):
+        subst = Substitution({Var("X"): Var("Y"), Var("Y"): Sym("a")})
+        assert subst.apply(Var("X")) == Sym("a")
+
+    def test_identity_bindings_removed(self):
+        subst = Substitution({Var("X"): Var("X")})
+        assert subst.is_empty()
+
+    def test_bind_returns_new_substitution(self):
+        first = Substitution({Var("X"): Sym("a")})
+        second = first.bind(Var("Y"), Sym("b"))
+        assert Var("Y") not in first
+        assert second.apply(Var("Y")) == Sym("b")
+
+    def test_compose_order(self):
+        first = Substitution({Var("X"): Var("Y")})
+        second = Substitution({Var("Y"): Sym("a")})
+        composed = compose(first, second)
+        assert composed.apply(Var("X")) == Sym("a")
+        # Composition applies `first` first:
+        assert composed.apply(p(Var("X"), Var("Y"))) == second.apply(first.apply(p(Var("X"), Var("Y"))))
+
+    def test_restrict(self):
+        subst = Substitution({Var("X"): Sym("a"), Var("Y"): Sym("b")})
+        restricted = subst.restrict([Var("X")])
+        assert Var("X") in restricted
+        assert Var("Y") not in restricted
+
+    def test_rejects_bad_keys(self):
+        with pytest.raises(TypeError):
+            Substitution({Sym("a"): Sym("b")})
+        with pytest.raises(TypeError):
+            Substitution({Var("X"): "b"})
+
+    def test_equality_and_hash(self):
+        assert Substitution({Var("X"): Sym("a")}) == Substitution({Var("X"): Sym("a")})
+        assert hash(Substitution({Var("X"): Sym("a")})) == hash(Substitution({Var("X"): Sym("a")}))
+
+
+class TestUnification:
+    def test_identical_symbols(self):
+        assert unify(Sym("a"), Sym("a")).is_empty()
+
+    def test_distinct_symbols_fail(self):
+        assert unify(Sym("a"), Sym("b")) is None
+
+    def test_variable_binding(self):
+        result = unify(Var("X"), Sym("a"))
+        assert result.apply(Var("X")) == Sym("a")
+
+    def test_applications(self):
+        result = unify(p(Var("X"), Sym("b")), p(Sym("a"), Var("Y")))
+        assert result.apply(Var("X")) == Sym("a")
+        assert result.apply(Var("Y")) == Sym("b")
+
+    def test_arity_mismatch_fails(self):
+        assert unify(p(Var("X")), p(Sym("a"), Sym("b"))) is None
+
+    def test_predicate_name_unifies(self):
+        # HiLog unification: a variable can be the predicate name.
+        left = App(Var("G"), (Sym("a"), Var("Y")))
+        right = App(Sym("e"), (Var("X"), Sym("b")))
+        result = unify(left, right)
+        assert result.apply(Var("G")) == Sym("e")
+        assert result.apply(Var("Y")) == Sym("b")
+        assert result.apply(Var("X")) == Sym("a")
+
+    def test_nested_name_unification(self):
+        left = App(App(Sym("tc"), (Var("G"),)), (Var("X"), Var("Y")))
+        right = App(App(Sym("tc"), (Sym("e"),)), (Sym("a"), Sym("b")))
+        result = unify(left, right)
+        assert result.apply(Var("G")) == Sym("e")
+
+    def test_name_vs_symbol_fails(self):
+        assert unify(App(Sym("p"), (Sym("a"),)), Sym("p")) is None
+
+    def test_occurs_check(self):
+        assert unify(Var("X"), p(Var("X"))) is None
+
+    def test_occurs_check_disabled(self):
+        assert unify(Var("X"), p(Var("X")), occurs_check=False) is not None
+
+    def test_shared_variable(self):
+        result = unify(p(Var("X"), Var("X")), p(Sym("a"), Var("Y")))
+        assert result.apply(Var("Y")) == Sym("a")
+
+    def test_unify_symmetry(self):
+        left = p(Var("X"), Sym("b"))
+        right = p(Sym("a"), Var("Y"))
+        forward = unify(left, right)
+        backward = unify(right, left)
+        assert forward.apply(left) == backward.apply(left)
+
+    def test_mgu_raises_on_failure(self):
+        with pytest.raises(UnificationError):
+            mgu(Sym("a"), Sym("b"))
+
+    def test_unifiable(self):
+        assert unifiable(Var("X"), Sym("a"))
+        assert not unifiable(Sym("a"), Sym("b"))
+
+    def test_unifier_is_most_general(self):
+        result = unify(p(Var("X")), p(Var("Y")))
+        # A variable-variable binding, not a grounding.
+        value = result.apply(Var("X"))
+        assert isinstance(value, Var)
+
+
+class TestMatch:
+    def test_match_binds_pattern_only(self):
+        result = match(p(Var("X"), Sym("b")), p(Sym("a"), Sym("b")))
+        assert result.apply(Var("X")) == Sym("a")
+
+    def test_match_fails_on_mismatch(self):
+        assert match(p(Sym("a")), p(Sym("b"))) is None
+
+    def test_match_name_variable(self):
+        result = match(App(Var("G"), (Var("X"), Var("Y"))), App(Sym("e"), (Sym("a"), Sym("b"))))
+        assert result.apply(Var("G")) == Sym("e")
+
+    def test_match_respects_existing_bindings(self):
+        base = Substitution({Var("X"): Sym("a")})
+        assert match(p(Var("X")), p(Sym("b")), base) is None
+        assert match(p(Var("X")), p(Sym("a")), base) is not None
+
+
+class TestVariant:
+    def test_variants(self):
+        assert variant(p(Var("X"), Var("Y")), p(Var("A"), Var("B")))
+
+    def test_not_variant_when_identified(self):
+        assert not variant(p(Var("X"), Var("X")), p(Var("A"), Var("B")))
+        assert not variant(p(Var("X"), Var("Y")), p(Var("A"), Var("A")))
+
+    def test_ground_variant_is_equality(self):
+        assert variant(p(Sym("a")), p(Sym("a")))
+        assert not variant(p(Sym("a")), p(Sym("b")))

@@ -1,0 +1,187 @@
+"""Tests for HiLog terms (repro.hilog.terms)."""
+
+import pytest
+
+from repro.hilog.terms import (
+    App,
+    CONS,
+    NIL,
+    Num,
+    Sym,
+    Var,
+    app,
+    atom_arguments,
+    functor,
+    list_items,
+    make_list,
+    outermost_symbol,
+    predicate_name,
+    rename_variables,
+    subterms,
+    sym,
+    var,
+)
+
+
+class TestConstruction:
+    def test_sym_equality(self):
+        assert Sym("p") == Sym("p")
+        assert Sym("p") != Sym("q")
+
+    def test_var_equality(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+
+    def test_var_not_equal_sym(self):
+        assert Var("X") != Sym("X")
+
+    def test_num_equality(self):
+        assert Num(3) == Num(3)
+        assert Num(3) != Num(4)
+
+    def test_num_is_a_symbol(self):
+        assert isinstance(Num(3), Sym)
+
+    def test_num_not_equal_plain_sym(self):
+        assert Num(3) != Sym("3")
+
+    def test_app_equality(self):
+        assert App(Sym("p"), (Sym("a"),)) == App(Sym("p"), (Sym("a"),))
+        assert App(Sym("p"), (Sym("a"),)) != App(Sym("p"), (Sym("b"),))
+
+    def test_app_arity(self):
+        assert App(Sym("p"), (Sym("a"), Sym("b"))).arity == 2
+        assert App(Sym("p"), ()).arity == 0
+
+    def test_zero_arity_app_distinct_from_symbol(self):
+        # Footnote 1 of the paper: p() and p are distinct terms.
+        assert App(Sym("p"), ()) != Sym("p")
+
+    def test_nested_application(self):
+        term = App(App(Sym("tc"), (Var("G"),)), (Var("X"), Var("Y")))
+        assert term.arity == 2
+        assert term.name == App(Sym("tc"), (Var("G"),))
+
+    def test_app_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            App("p", (Sym("a"),))
+        with pytest.raises(TypeError):
+            App(Sym("p"), ("a",))
+
+    def test_immutability(self):
+        term = Sym("p")
+        with pytest.raises(AttributeError):
+            term.name = "q"
+        variable = Var("X")
+        with pytest.raises(AttributeError):
+            variable.name = "Y"
+        application = App(Sym("p"), ())
+        with pytest.raises(AttributeError):
+            application.args = ()
+
+    def test_hashable(self):
+        terms = {Sym("p"), Var("X"), App(Sym("p"), (Var("X"),)), Num(1)}
+        assert len(terms) == 4
+
+
+class TestHelpers:
+    def test_sym_helper_converts_ints(self):
+        assert sym(3) == Num(3)
+        assert sym("a") == Sym("a")
+
+    def test_sym_helper_rejects_bool(self):
+        with pytest.raises(TypeError):
+            sym(True)
+
+    def test_app_helper(self):
+        assert app("p", "a", 3) == App(Sym("p"), (Sym("a"), Num(3)))
+
+    def test_var_helper(self):
+        assert var("X") == Var("X")
+
+    def test_is_ground(self):
+        assert Sym("a").is_ground()
+        assert not Var("X").is_ground()
+        assert App(Sym("p"), (Sym("a"),)).is_ground()
+        assert not App(Sym("p"), (Var("X"),)).is_ground()
+        assert not App(Var("G"), (Sym("a"),)).is_ground()
+
+    def test_variables(self):
+        term = App(App(Sym("tc"), (Var("G"),)), (Var("X"), Sym("a")))
+        assert term.variables() == {Var("G"), Var("X")}
+
+    def test_symbols(self):
+        term = App(App(Sym("tc"), (Var("G"),)), (Var("X"), Sym("a")))
+        assert term.symbols() == {"tc", "a"}
+
+    def test_depth(self):
+        assert Sym("a").depth() == 0
+        assert Var("X").depth() == 0
+        assert App(Sym("p"), (Sym("a"),)).depth() == 1
+        assert App(App(Sym("p"), (Sym("a"),)), (Sym("b"),)).depth() == 2
+        assert App(Sym("p"), (App(Sym("q"), (Sym("a"),)),)).depth() == 2
+
+    def test_depth_deep_term_no_recursion_error(self):
+        term = Sym("a")
+        for _ in range(5000):
+            term = App(Sym("f"), (term,))
+        assert term.depth() == 5000
+        assert term.is_ground()
+        assert term.size() == 10001
+
+    def test_size(self):
+        assert Sym("a").size() == 1
+        # An application node counts itself, its name and its arguments.
+        assert App(Sym("p"), (Sym("a"), Sym("b"))).size() == 4
+
+    def test_subterms(self):
+        term = App(Sym("p"), (App(Sym("q"), (Sym("a"),)),))
+        collected = set(subterms(term))
+        assert Sym("a") in collected
+        assert Sym("q") in collected
+        assert term in collected
+
+    def test_functor_and_predicate_name(self):
+        nested = App(App(Sym("tc"), (Sym("e"),)), (Sym("a"), Sym("b")))
+        assert functor(nested) == App(Sym("tc"), (Sym("e"),))
+        assert predicate_name(nested) == App(Sym("tc"), (Sym("e"),))
+        assert predicate_name(Sym("p")) == Sym("p")
+
+    def test_outermost_symbol(self):
+        nested = App(App(Sym("winning"), (Var("M"),)), (Var("X"),))
+        assert outermost_symbol(nested) == Sym("winning")
+        assert outermost_symbol(App(Var("G"), (Sym("a"),))) is None
+
+    def test_atom_arguments(self):
+        assert atom_arguments(App(Sym("p"), (Sym("a"), Sym("b")))) == (Sym("a"), Sym("b"))
+        assert atom_arguments(Sym("p")) == ()
+
+
+class TestLists:
+    def test_make_list_and_items(self):
+        items = [Sym("a"), Sym("b"), Num(3)]
+        term = make_list(items)
+        assert list_items(term) == items
+
+    def test_empty_list(self):
+        assert make_list([]) == NIL
+        assert list_items(NIL) == []
+
+    def test_partial_list_items_is_none(self):
+        partial = App(CONS, (Sym("a"), Var("T")))
+        assert list_items(partial) is None
+
+
+class TestRenameVariables:
+    def test_rename_produces_fresh_names(self):
+        term = App(Sym("p"), (Var("X"), Var("Y"), Var("X")))
+        mapping = {}
+        renamed = rename_variables(term, mapping, [0])
+        assert renamed.variables() != term.variables()
+        # The two occurrences of X are renamed consistently.
+        assert renamed.args[0] == renamed.args[2]
+        assert renamed.args[0] != renamed.args[1]
+
+    def test_rename_keeps_symbols(self):
+        term = App(Sym("p"), (Sym("a"),))
+        assert rename_variables(term, {}, [0]) == term

@@ -1,0 +1,106 @@
+"""Tests for the universal-relation (call/apply) encoding of Section 2."""
+
+import pytest
+
+from repro.engine.grounding import relevant_ground_program
+from repro.engine.wellfounded import well_founded_model
+from repro.hilog.parser import parse_program, parse_term
+from repro.hilog.terms import App, Sym, Var
+from repro.hilog.universal import (
+    CALL,
+    apply_symbol,
+    bridge_rule,
+    decode_atom,
+    decode_term,
+    encode_atom,
+    encode_program,
+    encode_term,
+    is_call_atom,
+)
+
+
+class TestEncoding:
+    def test_symbol_and_variable_unchanged(self):
+        assert encode_term(Sym("a")) == Sym("a")
+        assert encode_term(Var("X")) == Var("X")
+
+    def test_simple_atom(self):
+        # p(X, a) -> apply_3(p, X, a); as an atom: call(apply_3(p, X, a)).
+        encoded = encode_atom(parse_term("p(X, a)"))
+        assert encoded == App(CALL, (App(apply_symbol(3), (Sym("p"), Var("X"), Sym("a"))),))
+
+    def test_paper_example_nested_atom(self):
+        # p(X, a)(Z) -> call(apply_2(apply_3(p, X, a), Z))  (Section 1 of the paper,
+        # where apply_i is written u_i).
+        encoded = encode_atom(parse_term("p(X, a)(Z)"))
+        inner = App(apply_symbol(3), (Sym("p"), Var("X"), Sym("a")))
+        assert encoded == App(CALL, (App(apply_symbol(2), (inner, Var("Z"))),))
+
+    def test_decode_inverts_encode(self):
+        for text in ["p(X, a)", "tc(G)(X, Y)", "p(a, X)(Y)(b, f(c)(d))", "q", "p()"]:
+            term = parse_term(text)
+            assert decode_term(encode_term(term)) == term
+            assert decode_atom(encode_atom(term)) == term
+
+    def test_is_call_atom(self):
+        assert is_call_atom(encode_atom(parse_term("p(a)")))
+        assert not is_call_atom(parse_term("p(a)"))
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            decode_atom(parse_term("p(a)"))
+        with pytest.raises(ValueError):
+            decode_term(App(apply_symbol(3), (Sym("p"), Sym("a"))))  # wrong arity
+
+    def test_encoded_program_is_normal(self):
+        program = parse_program(
+            """
+            maplist(F)([], []).
+            maplist(F)([X | R], [Y | Z]) :- F(X, Y), maplist(F)(R, Z).
+            """
+        )
+        encoded = encode_program(program)
+        assert encoded.is_normal()
+        assert len(encoded) == len(program)
+
+    def test_encoding_rejects_aggregates(self):
+        program = parse_program("c(N) :- N = sum(P : in(P)).")
+        with pytest.raises(ValueError):
+            encode_program(program)
+
+    def test_bridge_rule_shape(self):
+        rule = bridge_rule("f", 2)
+        assert rule.head.name == CALL
+        assert rule.body[0].atom == App(Sym("f"), (Var("X1"), Var("X2")))
+
+
+class TestSemanticEquivalence:
+    """The least model of the encoded program encodes the least model of the
+    original (negation-free) HiLog program."""
+
+    def test_transitive_closure_equivalence(self):
+        program = parse_program(
+            """
+            tc(G)(X, Y) :- graph(G), G(X, Y).
+            tc(G)(X, Y) :- graph(G), G(X, Z), tc(G)(Z, Y).
+            graph(e).
+            e(1, 2). e(2, 3). e(3, 4).
+            """
+        )
+        direct = well_founded_model(relevant_ground_program(program))
+        encoded = well_founded_model(relevant_ground_program(encode_program(program)))
+        decoded_true = {decode_atom(atom) for atom in encoded.true}
+        assert decoded_true == set(direct.true)
+
+    def test_definite_program_equivalence(self):
+        program = parse_program(
+            """
+            p(a). p(b).
+            q(X) :- p(X).
+            r(X, Y) :- q(X), q(Y).
+            """
+        )
+        direct = well_founded_model(relevant_ground_program(program))
+        encoded = well_founded_model(relevant_ground_program(encode_program(program)))
+        decoded_true = {decode_atom(atom) for atom in encoded.true}
+        assert decoded_true == set(direct.true)

@@ -1,0 +1,79 @@
+"""Tests for normal-program classification and range restriction (Def 4.1)."""
+
+from repro.normal.classify import (
+    PredicateSignature,
+    atom_signature,
+    edb_predicates,
+    idb_predicates,
+    is_normal_program,
+    predicate_signatures,
+)
+from repro.normal.range_restriction import (
+    is_range_restricted_normal,
+    rule_is_range_restricted_normal,
+    unrestricted_rules,
+)
+from repro.hilog.parser import parse_program, parse_rule, parse_term
+
+
+class TestClassification:
+    def test_atom_signature(self):
+        assert atom_signature(parse_term("p(a, b)")) == PredicateSignature("p", 2)
+        assert atom_signature(parse_term("p")) == PredicateSignature("p", 0)
+        assert atom_signature(parse_term("G(a)")) is None
+        assert atom_signature(parse_term("tc(G)(a, b)")) is None
+
+    def test_is_normal_program(self):
+        assert is_normal_program(parse_program("p(X) :- q(X, f(X)), not r(X)."))
+        assert not is_normal_program(parse_program("winning(M)(X) :- game(M)."))
+
+    def test_predicate_signatures(self):
+        program = parse_program("p(X) :- q(X), not r(X, X).")
+        assert predicate_signatures(program) == {
+            PredicateSignature("p", 1),
+            PredicateSignature("q", 1),
+            PredicateSignature("r", 2),
+        }
+
+    def test_edb_idb_split(self):
+        program = parse_program("e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y).")
+        assert edb_predicates(program) == {PredicateSignature("e", 2)}
+        assert idb_predicates(program) == {PredicateSignature("t", 2)}
+
+    def test_predicate_defined_by_fact_and_rule_is_idb(self):
+        program = parse_program("p(a). p(X) :- q(X). q(b).")
+        assert PredicateSignature("p", 1) not in edb_predicates(program)
+        assert PredicateSignature("p", 1) in idb_predicates(program)
+
+
+class TestNormalRangeRestriction:
+    def test_range_restricted_rules(self):
+        assert rule_is_range_restricted_normal(parse_rule("p(X) :- q(X, Y)."))
+        assert rule_is_range_restricted_normal(parse_rule("p(X) :- q(X), not r(X)."))
+        assert rule_is_range_restricted_normal(parse_rule("p(a)."))
+
+    def test_head_variable_not_bound(self):
+        assert not rule_is_range_restricted_normal(parse_rule("p(X) :- q(a)."))
+
+    def test_negative_variable_not_bound(self):
+        assert not rule_is_range_restricted_normal(parse_rule("p :- not q(X)."))
+
+    def test_example_4_1_is_not_range_restricted(self):
+        program = parse_program("p :- not q(X). q(a).")
+        assert not is_range_restricted_normal(program)
+        assert len(unrestricted_rules(program)) == 1
+
+    def test_nonground_fact_not_range_restricted(self):
+        assert not is_range_restricted_normal(parse_program("p(X, X, a)."))
+
+    def test_win_move_is_range_restricted(self):
+        program = parse_program("winning(X) :- move(X, Y), not winning(Y). move(a, b).")
+        assert is_range_restricted_normal(program)
+
+    def test_assignment_builtin_counts_as_binding(self):
+        assert rule_is_range_restricted_normal(
+            parse_rule("total(X, N) :- cost(X, M), N is M * 2.")
+        )
+
+    def test_comparison_does_not_bind(self):
+        assert not rule_is_range_restricted_normal(parse_rule("p(N) :- q(M), N > M."))

@@ -1,0 +1,98 @@
+"""Tests for modular stratification of normal programs (Defs 6.3/6.4, Example 6.1)."""
+
+import pytest
+
+from repro.hilog.errors import StratificationError
+from repro.hilog.parser import parse_program, parse_term
+from repro.normal.modular import (
+    is_modularly_stratified,
+    modular_stratification,
+    perfect_model,
+)
+from repro.workloads.games import normal_game_program
+from repro.workloads.graphs import chain_edges, cycle_edges
+
+
+class TestExample61:
+    def test_acyclic_game_is_modularly_stratified(self):
+        program = normal_game_program(chain_edges(4))
+        result = modular_stratification(program)
+        assert result.is_modularly_stratified
+        assert result.model is not None
+        assert result.model.is_total()
+
+    def test_cyclic_game_is_not_modularly_stratified(self):
+        program = normal_game_program(cycle_edges(3))
+        result = modular_stratification(program)
+        assert not result.is_modularly_stratified
+        assert "locally stratified" in result.reason
+
+    def test_winning_positions_of_chain(self):
+        # n0 -> n1 -> n2 -> n3: n2 wins (n3 is lost), n1 loses, n0 wins.
+        program = normal_game_program(chain_edges(3))
+        model = perfect_model(program)
+        assert model.is_true(parse_term("winning(n0)"))
+        assert model.is_false(parse_term("winning(n1)"))
+        assert model.is_true(parse_term("winning(n2)"))
+        assert model.is_false(parse_term("winning(n3)"))
+
+    def test_perfect_model_raises_on_cyclic_game(self):
+        with pytest.raises(StratificationError):
+            perfect_model(normal_game_program(cycle_edges(4)))
+
+
+class TestGeneralModularStratification:
+    def test_stratified_program_is_modularly_stratified(self):
+        program = parse_program("p(X) :- q(X), not r(X). q(a). q(b). r(b).")
+        result = modular_stratification(program)
+        assert result.is_modularly_stratified
+        assert result.model.is_true(parse_term("p(a)"))
+        assert result.model.is_false(parse_term("p(b)"))
+
+    def test_even_odd_over_successor_facts(self):
+        program = parse_program("""
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), not even(Y).
+            zero(n0).
+            succ(n0, n1). succ(n1, n2). succ(n2, n3).
+        """)
+        result = modular_stratification(program)
+        assert result.is_modularly_stratified
+        assert result.model.is_true(parse_term("even(n0)"))
+        assert result.model.is_false(parse_term("even(n1)"))
+        assert result.model.is_true(parse_term("even(n2)"))
+
+    def test_directly_unstratified_component(self):
+        program = parse_program("p(a) :- not p(a).")
+        assert not is_modularly_stratified(program)
+
+    def test_component_order_is_reported(self):
+        program = normal_game_program(chain_edges(2))
+        result = modular_stratification(program)
+        assert len(result.component_order) == 2
+
+    def test_rejects_hilog_program(self):
+        with pytest.raises(StratificationError):
+            modular_stratification(parse_program("winning(M)(X) :- game(M)."))
+
+    def test_win_move_with_extra_stratum(self):
+        program = parse_program("""
+            winning(X) :- move(X, Y), not winning(Y).
+            move(a, b). move(b, c).
+            happy(X) :- winning(X), not sad(X).
+            sad(c).
+        """)
+        # Chain a -> b -> c: winning(b) is true, winning(a) and winning(c) false.
+        result = modular_stratification(program)
+        assert result.is_modularly_stratified
+        assert result.model.is_true(parse_term("happy(b)"))
+        assert result.model.is_false(parse_term("happy(a)"))
+        assert result.model.is_false(parse_term("happy(c)"))
+
+    def test_matches_well_founded_model(self):
+        from repro.core.semantics import normal_well_founded_model
+
+        program = normal_game_program(chain_edges(5))
+        modular_model = perfect_model(program)
+        wfs = normal_well_founded_model(program)
+        assert modular_model.true == wfs.true

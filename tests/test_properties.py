@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These tests generate random HiLog terms, substitutions and ground programs
+and check the algebraic properties the rest of the library relies on:
+
+* parse/format round trips,
+* unification soundness (the mgu really unifies) and symmetry,
+* substitution composition semantics,
+* well-founded semantics invariants: consistency, engine agreement,
+  monotonicity of ``W_P`` along its iteration, stable models extending the
+  well-founded model, and the Gelfond–Lifschitz characterization agreeing
+  with the two-valued-``W_P``-fixpoint characterization used by the paper.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.fixpoint import gelfond_lifschitz
+from repro.engine.grounding import GroundProgram, GroundRule
+from repro.engine.interpretation import Interpretation, conservatively_extends
+from repro.engine.stable import is_stable_model, is_two_valued_wp_fixpoint, stable_models
+from repro.engine.wellfounded import well_founded_model, wp_operator
+from repro.hilog.parser import parse_term
+from repro.hilog.pretty import format_rule, format_term
+from repro.hilog.program import Literal, Rule
+from repro.hilog.subst import Substitution
+from repro.hilog.terms import App, Num, Sym, Var
+from repro.hilog.unify import unify
+
+# ---------------------------------------------------------------------------
+# Term / substitution strategies
+# ---------------------------------------------------------------------------
+
+_symbol_names = st.sampled_from(["p", "q", "r", "f", "g", "a", "b", "c", "move", "tc"])
+_variable_names = st.sampled_from(["X", "Y", "Z", "G", "M", "Rest"])
+
+
+def _terms(max_depth=3):
+    base = st.one_of(
+        _symbol_names.map(Sym),
+        _variable_names.map(Var),
+        st.integers(min_value=0, max_value=9).map(Num),
+    )
+
+    def extend(children):
+        return st.builds(
+            lambda name, args: App(name, tuple(args)),
+            children,
+            st.lists(children, min_size=0, max_size=3),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+def _ground_terms():
+    return _terms().filter(lambda t: t.is_ground())
+
+
+def _substitutions():
+    return st.dictionaries(
+        _variable_names.map(Var), _ground_terms(), min_size=0, max_size=3
+    ).map(Substitution)
+
+
+class TestTermProperties:
+    @given(_terms())
+    @settings(max_examples=150, deadline=None)
+    def test_format_parse_round_trip(self, term):
+        assert parse_term(format_term(term)) == term
+
+    @given(_terms())
+    @settings(max_examples=100, deadline=None)
+    def test_ground_iff_no_variables(self, term):
+        assert term.is_ground() == (not term.variables())
+
+    @given(_terms())
+    @settings(max_examples=100, deadline=None)
+    def test_depth_bounded_by_size(self, term):
+        assert term.depth() < term.size() + 1
+
+    @given(_terms(), _substitutions())
+    @settings(max_examples=100, deadline=None)
+    def test_substitution_removes_bound_variables(self, term, subst):
+        applied = subst.apply(term)
+        assert applied.variables().isdisjoint(set(subst.keys()))
+
+    @given(_terms(), _substitutions(), _substitutions())
+    @settings(max_examples=100, deadline=None)
+    def test_composition_semantics(self, term, first, second):
+        composed = first.compose(second)
+        assert composed.apply(term) == second.apply(first.apply(term))
+
+
+class TestUnificationProperties:
+    @given(_terms(), _terms())
+    @settings(max_examples=200, deadline=None)
+    def test_mgu_unifies(self, left, right):
+        unifier = unify(left, right)
+        if unifier is not None:
+            assert unifier.apply(left) == unifier.apply(right)
+
+    @given(_terms(), _terms())
+    @settings(max_examples=150, deadline=None)
+    def test_unification_symmetric(self, left, right):
+        assert (unify(left, right) is None) == (unify(right, left) is None)
+
+    @given(_ground_terms(), _ground_terms())
+    @settings(max_examples=100, deadline=None)
+    def test_ground_unification_is_equality(self, left, right):
+        assert (unify(left, right) is not None) == (left == right)
+
+    @given(_terms())
+    @settings(max_examples=50, deadline=None)
+    def test_self_unification(self, term):
+        assert unify(term, term) is not None
+
+
+# ---------------------------------------------------------------------------
+# Ground program strategies and semantics invariants
+# ---------------------------------------------------------------------------
+
+_ground_atoms = st.sampled_from([parse_term(text) for text in
+                                 ["a", "b", "c", "d", "p(a)", "p(b)", "q(a)", "q(b)"]])
+
+
+def _ground_rules():
+    return st.builds(
+        lambda head, positive, negative: GroundRule(head, tuple(positive), tuple(negative)),
+        _ground_atoms,
+        st.lists(_ground_atoms, max_size=2),
+        st.lists(_ground_atoms, max_size=2),
+    )
+
+
+def _ground_programs():
+    return st.lists(_ground_rules(), min_size=0, max_size=10).map(GroundProgram)
+
+
+class TestSemanticsInvariants:
+    @given(_ground_programs())
+    @settings(max_examples=120, deadline=None)
+    def test_well_founded_model_is_consistent(self, program):
+        model = well_founded_model(program)
+        assert not (model.true & model.false)
+        assert model.true <= program.base
+        assert model.false <= program.base
+
+    @given(_ground_programs())
+    @settings(max_examples=120, deadline=None)
+    def test_engines_agree(self, program):
+        wp = well_founded_model(program, engine="wp")
+        alternating = well_founded_model(program, engine="alternating")
+        assert wp.true == alternating.true
+        assert wp.false == alternating.false
+
+    @given(_ground_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_wp_iteration_is_increasing(self, program):
+        current = Interpretation((), (), base=program.base)
+        for _ in range(4):
+            following = wp_operator(program, current)
+            assert current.true <= following.true
+            assert current.false <= following.false
+            current = following
+
+    @given(_ground_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_stable_models_extend_well_founded_model(self, program):
+        wfs = well_founded_model(program)
+        for model in stable_models(program, max_branch_atoms=12):
+            assert wfs.true <= model.true
+            assert wfs.false <= model.false
+            assert model.is_total()
+
+    @given(_ground_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_stable_characterizations_agree(self, program):
+        # Gelfond–Lifschitz stability == being a two-valued fixpoint of W_P
+        # (the equivalence the paper takes from Van Gelder/Ross/Schlipf).
+        for model in stable_models(program, max_branch_atoms=12):
+            assert is_stable_model(program, model.true)
+            assert is_two_valued_wp_fixpoint(program, model)
+
+    @given(_ground_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_definite_part_least_model_within_true_or_undef(self, program):
+        # Dropping negative bodies entirely (Γ over the empty context) gives
+        # an overapproximation of the atoms that are not false.
+        model = well_founded_model(program)
+        not_false = gelfond_lifschitz(program.rules, set())
+        assert model.true <= not_false
+
+    @given(_ground_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_conservative_extension_is_reflexive(self, program):
+        model = well_founded_model(program)
+        assert conservatively_extends(model, model)
+
+
+class TestRuleFormattingProperties:
+    @given(st.lists(_ground_atoms, min_size=1, max_size=3),
+           st.lists(_ground_atoms, max_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_rule_round_trip(self, positive, negative):
+        from repro.hilog.parser import parse_rule
+
+        rule = Rule(positive[0],
+                    tuple(Literal(a) for a in positive[1:]) +
+                    tuple(Literal(a, positive=False) for a in negative))
+        assert parse_rule(format_rule(rule)) == rule
