@@ -1,6 +1,8 @@
 """Setup shim so the package can be installed editable without network access
-(the environment has no `wheel` package, so the legacy `setup.py develop`
-path is used)."""
+(environments without the `wheel` package fall back to the legacy
+`setup.py develop` path).  All metadata — including the ``src/`` package
+layout — lives in ``pyproject.toml``; setuptools >= 61 reads it from there
+on both the PEP 660 (`pip install -e .`) and the legacy path."""
 
 from setuptools import setup
 

@@ -159,14 +159,80 @@ def _process_rule(rule, call_pattern, answers_index, all_answers, calls, new_cal
     return produced
 
 
-def magic_evaluate(program, query, max_atoms=500000, engine="alternating"):
+def _seminaive_magic(program, query_literals, max_atoms):
+    """The semi-naive fast path of :func:`magic_evaluate`.
+
+    For definite programs the paper's architecture applies directly: run the
+    declarative magic-sets rewriting and evaluate the rewritten (still
+    definite) program bottom-up with the delta-driven engine — only
+    query-reachable facts are derived, and no ground rules are ever
+    materialized.  Returns ``None`` when the fast path does not apply
+    (negation, aggregates, a floundering rewrite, or a program outside the
+    engine's class); the caller then runs the grounding oracle, so both
+    strategies always return the same answers.
+    """
+    from repro.core.magic.rewrite import MAGIC, SUP_PREFIX, magic_rewrite
+    from repro.engine.seminaive import SeminaiveUnsupported, seminaive_evaluate
+    from repro.hilog.errors import StratificationError
+
+    if program.has_negation() or program.has_aggregates():
+        return None
+    if any(literal.negative for literal in query_literals):
+        return None
+    # The rewriting's auxiliary predicates live in the same namespace as the
+    # user program; a program that mentions ``magic`` or a ``sup_*`` symbol
+    # anywhere could collide with them (its answers would be filtered out as
+    # auxiliary, or its rules would join against the rewrite's seed facts),
+    # so such programs stay on the oracle.
+    if any(name == str(MAGIC.name) or name.startswith("%s_" % SUP_PREFIX)
+           for name in program.symbols()):
+        return None
+    try:
+        rewritten = magic_rewrite(program, query_literals)
+    except StratificationError:
+        return None
+    try:
+        result = seminaive_evaluate(rewritten.rewritten_program(), max_facts=max_atoms)
+    except (SeminaiveUnsupported, GroundingError, EvaluationError):
+        return None
+
+    def is_auxiliary(atom):
+        symbol = outermost_symbol(atom)
+        return symbol is not None and (
+            symbol == MAGIC or symbol.name.startswith("%s_" % SUP_PREFIX)
+        )
+
+    program_atoms = frozenset(atom for atom in result.true if not is_auxiliary(atom))
+    query_atom = query_literals[0].atom
+    matched = [atom for atom in program_atoms if match(query_atom, atom) is not None]
+    matched.sort(key=repr)
+    return MagicEvaluationResult(
+        answers=tuple(matched),
+        interpretation=Interpretation(true=program_atoms, base=program_atoms),
+        relevant_atoms=program_atoms,
+        call_patterns=tuple(rewritten.binding_patterns),
+        ground_rules=0,
+    )
+
+
+def magic_evaluate(program, query, max_atoms=500000, engine="alternating",
+                   strategy="ground"):
     """Answer ``query`` against ``program`` by query-driven evaluation.
 
     ``query`` may be a single atom, a :class:`Literal` tuple, or a string
     already parsed by the caller.  Returns a :class:`MagicEvaluationResult`
     whose ``answers`` are the ground instances of the (first) query atom that
     are true in the well-founded model.
+
+    ``strategy="seminaive"`` evaluates definite programs by magic rewriting
+    plus delta-driven bottom-up evaluation over indexed relations (no ground
+    rules are materialized; the result's ``ground_rules`` is 0 on that
+    path), falling back to the default ``"ground"`` oracle — call-pattern
+    propagation plus the ground well-founded computation — whenever the fast
+    path does not apply.  Both strategies return the same answers.
     """
+    if strategy not in ("ground", "seminaive"):
+        raise ValueError("unknown strategy %r (use 'ground' or 'seminaive')" % (strategy,))
     if program.has_aggregates():
         raise GroundingError("magic evaluation does not support aggregate rules")
     if isinstance(query, Term):
@@ -175,6 +241,11 @@ def magic_evaluate(program, query, max_atoms=500000, engine="alternating"):
         query_literals = tuple(query)
     if not query_literals:
         raise ValueError("empty query")
+
+    if strategy == "seminaive":
+        fast = _seminaive_magic(program, query_literals, max_atoms)
+        if fast is not None:
+            return fast
 
     calls = _CallTable()
     new_calls = []

@@ -360,18 +360,104 @@ def evaluate_aggregate_component(rules, settled_names, settled_true, max_iterati
 
 
 # ---------------------------------------------------------------------------
+# Semi-naive fast paths (strategy="seminaive")
+# ---------------------------------------------------------------------------
+
+def _names_all_ground(rules):
+    """True when every head/body/aggregate predicate name is ground."""
+    for rule in rules:
+        if not predicate_name(rule.head).is_ground():
+            return False
+        for name in _body_names(rule):
+            if not name.is_ground():
+                return False
+    return True
+
+
+def _seminaive_whole_program(program, max_atoms, max_term_depth):
+    """Evaluate the whole program with the semi-naive engine when it is
+    stratified at the predicate-indicator level.
+
+    Only attempted when every predicate name in the program is ground: in
+    that case no reduction round can ever re-introduce a settled head (the
+    Example 6.5 failure mode), so "stratified" implies that the Figure-1
+    procedure would succeed — the fast path cannot change the verdict, only
+    skip the grounding work.  Aggregate programs always go through Figure 1:
+    :func:`evaluate_aggregate_component` folds an aggregate only over its
+    component's own atoms, whereas the engine folds over every stored fact,
+    so bypassing the procedure could change which groups exist.  Returns a
+    :class:`HiLogModularResult` or ``None`` when the engine declines (the
+    caller then runs Figure 1).
+    """
+    from repro.engine.seminaive import SeminaiveUnsupported, seminaive_evaluate
+
+    if program.has_aggregates() or not _names_all_ground(program.rules):
+        return None
+    try:
+        result = seminaive_evaluate(
+            program, max_facts=max_atoms, max_term_depth=max_term_depth
+        )
+    except (SeminaiveUnsupported, GroundingError, EvaluationError):
+        return None
+    model = Interpretation(result.true, base=result.true)
+    return HiLogModularResult(True, model, "", result.strata)
+
+
+def _seminaive_component(component_rules, settled_true, max_atoms, max_term_depth):
+    """Evaluate one Figure-1 component with the semi-naive engine.
+
+    The component's rules are evaluated with the settled model seeded as
+    extra facts; positive and (ground-by-join-time) negative settled
+    subgoals then resolve against the store exactly as
+    :func:`_evaluate_settled_subgoals` would resolve them after grounding.
+    Returns ``component_true`` or ``None`` when the engine declines (within-
+    component negation, unschedulable bodies, resource caps) — the caller
+    falls back to the grounding oracle, so the verdict never diverges.
+    """
+    from repro.engine.seminaive import SeminaiveUnsupported, seminaive_evaluate
+
+    try:
+        result = seminaive_evaluate(
+            Program(tuple(component_rules)),
+            extra_facts=settled_true,
+            max_facts=max_atoms,
+            max_term_depth=max_term_depth,
+        )
+    except (SeminaiveUnsupported, GroundingError, EvaluationError):
+        return None
+    return set(result.true) - settled_true
+
+
+# ---------------------------------------------------------------------------
 # The procedure of Figure 1
 # ---------------------------------------------------------------------------
 
 def modularly_stratified_for_hilog(program, left_to_right=False, max_rounds=1000,
-                                   max_atoms=200000, max_term_depth=80):
+                                   max_atoms=200000, max_term_depth=80,
+                                   strategy="ground"):
     """Run the Figure-1 procedure on a HiLog program.
 
     Returns a :class:`HiLogModularResult`; when the verdict is positive the
     result's ``model`` is the program's total well-founded model
     (Theorem 6.1).  Set ``left_to_right=True`` for the refinement used by the
     magic-sets method (edges only to the leftmost body predicate).
+
+    ``strategy`` selects the evaluation engine: ``"ground"`` (the default)
+    is the reference oracle — relevance grounding plus the ground
+    well-founded computation; ``"seminaive"`` evaluates stratified
+    (sub)programs bottom-up over indexed relations without materializing
+    ground rules, falling back to the oracle wherever the fast path does not
+    apply.  Both strategies compute the same true atoms; the ``seminaive``
+    model's atom base only contains the true atoms (false-by-closed-world
+    atoms are not materialized).
     """
+    if strategy not in ("ground", "seminaive"):
+        raise ValueError("unknown strategy %r (use 'ground' or 'seminaive')" % (strategy,))
+    if strategy == "seminaive":
+        fast = _seminaive_whole_program(program, max_atoms, max_term_depth)
+        if fast is not None:
+            return fast
+
     remaining = list(program.rules)
     settled_names = set()
     settled_true = set()
@@ -433,29 +519,41 @@ def modularly_stratified_for_hilog(program, left_to_right=False, max_rounds=1000
                 return HiLogModularResult(False, None, str(error), tuple(rounds))
             component_base = set(component_true)
         else:
-            try:
-                component_ground = _ground_component(
-                    component_rules, settled_names, settled_true, max_atoms, max_term_depth
+            component_true = None
+            if strategy == "seminaive":
+                # Fast path: a component that is stratified relative to the
+                # settled model is locally stratified with a total
+                # well-founded model, so the semi-naive least fixpoint is its
+                # Figure-1 model and the checks below are implied.
+                component_true = _seminaive_component(
+                    component_rules, settled_true, max_atoms, max_term_depth
                 )
-            except GroundingError as error:
-                return HiLogModularResult(False, None, str(error), tuple(rounds))
-            if not is_locally_stratified_ground(component_ground):
-                return HiLogModularResult(
-                    False, None,
-                    "the reduction of the lowest component %s is not locally stratified"
-                    % sorted(map(repr, lowest)),
-                    tuple(rounds),
-                )
-            component_model = well_founded_model(component_ground)
-            if not component_model.is_total():
-                return HiLogModularResult(
-                    False, None,
-                    "the lowest component %s has no total well-founded model"
-                    % sorted(map(repr, lowest)),
-                    tuple(rounds),
-                )
-            component_true = set(component_model.true)
-            component_base = set(component_ground.base)
+                if component_true is not None:
+                    component_base = set(component_true)
+            if component_true is None:
+                try:
+                    component_ground = _ground_component(
+                        component_rules, settled_names, settled_true, max_atoms, max_term_depth
+                    )
+                except GroundingError as error:
+                    return HiLogModularResult(False, None, str(error), tuple(rounds))
+                if not is_locally_stratified_ground(component_ground):
+                    return HiLogModularResult(
+                        False, None,
+                        "the reduction of the lowest component %s is not locally stratified"
+                        % sorted(map(repr, lowest)),
+                        tuple(rounds),
+                    )
+                component_model = well_founded_model(component_ground)
+                if not component_model.is_total():
+                    return HiLogModularResult(
+                        False, None,
+                        "the lowest component %s has no total well-founded model"
+                        % sorted(map(repr, lowest)),
+                        tuple(rounds),
+                    )
+                component_true = set(component_model.true)
+                component_base = set(component_ground.base)
 
         settled_true |= component_true
         base |= component_base
@@ -479,7 +577,12 @@ def is_modularly_stratified_for_hilog(program, **kwargs):
 
 def perfect_model_for_hilog(program, **kwargs):
     """The total well-founded model of a modularly stratified HiLog program
-    (Theorem 6.1).  Raises :class:`StratificationError` otherwise."""
+    (Theorem 6.1).  Raises :class:`StratificationError` otherwise.
+
+    Pass ``strategy="seminaive"`` to evaluate stratified (sub)programs with
+    the delta-driven engine of :mod:`repro.engine.seminaive` instead of
+    grounding; the default ``strategy="ground"`` is the reference oracle.
+    Both strategies derive the same true atoms."""
     result = modularly_stratified_for_hilog(program, **kwargs)
     if not result.is_modularly_stratified:
         raise StratificationError(result.reason or "program is not modularly stratified for HiLog")

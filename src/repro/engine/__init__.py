@@ -11,8 +11,11 @@ and the HiLog semantics of the paper:
   well-founded model computed either by direct ``W_P`` iteration or by the
   alternating Gelfond–Lifschitz fixpoint,
 * stable models as two-valued fixpoints of ``W_P`` (Definition 3.6),
-* semi-naive evaluation of definite ground programs,
-* arithmetic/comparison builtins and aggregate subgoals.
+* arithmetic/comparison builtins and aggregate subgoals,
+* the semi-naive evaluation subsystem (:mod:`repro.engine.seminaive`):
+  indexed relation stores, SIPS-ordered join plans and a delta-driven
+  stratum-by-stratum fixpoint that evaluates range-restricted programs
+  without materializing a ground program.
 """
 
 from repro.engine.interpretation import (
@@ -39,6 +42,13 @@ from repro.engine.wellfounded import (
 from repro.engine.stable import stable_models, is_stable_model
 from repro.engine.builtins import evaluate_ground_builtin, is_arithmetic_term, solve_builtin
 from repro.engine.aggregates import evaluate_aggregate
+from repro.engine.seminaive import (
+    RelationStore,
+    SeminaiveResult,
+    SeminaiveUnsupported,
+    seminaive_evaluate,
+    seminaive_perfect_model,
+)
 
 __all__ = [
     "Interpretation",
@@ -63,4 +73,9 @@ __all__ = [
     "evaluate_ground_builtin",
     "is_arithmetic_term",
     "evaluate_aggregate",
+    "RelationStore",
+    "SeminaiveResult",
+    "SeminaiveUnsupported",
+    "seminaive_evaluate",
+    "seminaive_perfect_model",
 ]

@@ -1,0 +1,40 @@
+"""Semi-naive bottom-up evaluation over indexed relation stores.
+
+The fast-path evaluation subsystem: per-predicate fact relations with
+on-demand hash indexes (:mod:`repro.engine.seminaive.relation`), a rule
+compiler that orders bodies into join plans with the SIPS machinery of the
+magic-sets rewriting (:mod:`repro.engine.seminaive.plan`), and a
+delta-driven stratum-by-stratum fixpoint
+(:mod:`repro.engine.seminaive.engine`).
+
+Entry points::
+
+    from repro.engine.seminaive import seminaive_evaluate, seminaive_perfect_model
+
+or, at the API surface the paper experiments use,
+``perfect_model_for_hilog(program, strategy="seminaive")`` and
+``magic_evaluate(program, query, strategy="seminaive")``.
+"""
+
+from repro.engine.seminaive.engine import (
+    SeminaiveResult,
+    SeminaiveUnsupported,
+    seminaive_evaluate,
+    seminaive_perfect_model,
+)
+from repro.engine.seminaive.plan import JoinPlan, JoinStep, PlanError, compile_rule
+from repro.engine.seminaive.relation import Relation, RelationStore, predicate_indicator
+
+__all__ = [
+    "SeminaiveResult",
+    "SeminaiveUnsupported",
+    "seminaive_evaluate",
+    "seminaive_perfect_model",
+    "JoinPlan",
+    "JoinStep",
+    "PlanError",
+    "compile_rule",
+    "Relation",
+    "RelationStore",
+    "predicate_indicator",
+]

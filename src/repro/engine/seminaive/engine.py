@@ -1,0 +1,358 @@
+"""Delta-driven semi-naive evaluation over indexed relation stores.
+
+This is the deductive-database evaluation architecture the paper's
+Section 6.1 efficiency claims presume: instead of materializing a ground
+program and running the Dowling–Gallier fixpoint over it (the
+:mod:`repro.engine.grounding` path), rules are compiled into join plans
+(:mod:`repro.engine.seminaive.plan`) and evaluated bottom-up, stratum by
+stratum, with work per iteration proportional to the *new* derivations of
+the previous iteration.
+
+Two program classes are supported:
+
+* **Definite programs** (no negation, no aggregates) — evaluated as a
+  single stratum; predicate names may be arbitrary HiLog terms, including
+  non-ground ones (the relation store's spill path handles ``M(X, Y)``
+  subgoals).
+
+* **Stratified programs** — every predicate name must be ground, and the
+  dependency graph over predicate indicators must have no cycle through
+  negation or aggregation.  Negative subgoals and aggregate conditions are
+  then evaluated only against fully-computed lower strata, which makes the
+  least fixpoint of each stratum the perfect model (for these programs the
+  well-founded model is total and coincides with it, and with the unique
+  stable model).
+
+Programs outside these classes — variable predicate names combined with
+negation (Example 6.3's parameterized games), recursion through aggregation
+(the parts-explosion component) — raise :class:`SeminaiveUnsupported`;
+callers such as :func:`repro.core.modular.modularly_stratified_for_hilog`
+catch it and fall back to the grounding oracle.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, NamedTuple, Tuple
+
+from repro.engine.aggregates import evaluate_aggregate
+from repro.engine.builtins import solve_builtin
+from repro.engine.interpretation import Interpretation
+from repro.engine.seminaive.plan import FETCH, NEGATION, PlanError, compile_rule
+from repro.engine.seminaive.relation import RelationStore, predicate_indicator
+from repro.hilog.errors import GroundingError, HiLogError
+from repro.hilog.subst import Substitution
+from repro.hilog.terms import App, Term, predicate_name
+from repro.hilog.unify import match
+from repro.normal.depgraph import DependencyGraph
+
+
+class SeminaiveUnsupported(HiLogError):
+    """The program is outside the class the semi-naive engine handles
+    (non-ground predicate names with negation, a cycle through negation or
+    aggregation, or an unschedulable rule body).  Callers with a grounding
+    fallback should catch this and take the slow path."""
+
+
+class SeminaiveResult(NamedTuple):
+    """Outcome of a semi-naive evaluation."""
+
+    #: Every atom true in the computed model (seeds included).
+    true: FrozenSet[Term]
+    #: The atoms derived by rules (``true`` minus the seeded facts).
+    derived: FrozenSet[Term]
+    #: Predicate-name terms settled per stratum, lowest first.
+    strata: Tuple[FrozenSet[Term], ...]
+    #: Total number of delta iterations across all strata.
+    iterations: int
+    #: The final relation store (exposes index/relation statistics).
+    store: RelationStore
+
+
+_EMPTY = Substitution()
+
+
+def _literal_indicator(atom):
+    """The ``(name, arity)`` indicator of a rule atom, or ``None`` when the
+    predicate name is not ground (higher-order position)."""
+    name = predicate_name(atom)
+    if not name.is_ground():
+        return None
+    if isinstance(atom, App):
+        return (name, len(atom.args))
+    return (atom, -1)
+
+
+def _stratify(program):
+    """Assign each proper rule to a stratum.
+
+    Returns ``(strata, recursive)`` where ``strata`` is a list of rule lists
+    in ascending level order and ``recursive`` maps a rule to the set of
+    body indicators evaluated in the same stratum (the delta-variant sites).
+    Raises :class:`SeminaiveUnsupported` when the program is not stratified
+    at the predicate-indicator level.
+    """
+    proper = [rule for rule in program.rules if not rule.is_fact()]
+
+    if not program.has_negation() and not program.has_aggregates():
+        # Definite program: one stratum, every positive subgoal is
+        # potentially recursive (names may be non-ground, so the dependency
+        # graph cannot be trusted to separate anything).
+        return [proper], {rule: None for rule in proper}
+
+    graph = DependencyGraph()
+    head_indicators = {}
+    body_indicators = {}
+    for rule in proper:
+        head = _literal_indicator(rule.head)
+        if head is None:
+            raise SeminaiveUnsupported(
+                "rule %r has a non-ground head predicate name; semi-naive "
+                "stratification needs ground indicators" % (rule,)
+            )
+        head_indicators[rule] = head
+        graph.add_node(head)
+        indicators = []
+        for literal in rule.body:
+            if literal.is_builtin():
+                indicators.append(None)
+                continue
+            indicator = _literal_indicator(literal.atom)
+            if indicator is None:
+                raise SeminaiveUnsupported(
+                    "subgoal %r of rule %r has a non-ground predicate name in "
+                    "a program with negation/aggregation" % (literal.atom, rule)
+                )
+            indicators.append(indicator)
+            graph.add_edge(head, indicator, negative=literal.negative)
+        for spec in rule.aggregates:
+            indicator = _literal_indicator(spec.condition)
+            if indicator is None:
+                raise SeminaiveUnsupported(
+                    "aggregate condition %r has a non-ground predicate name"
+                    % (spec.condition,)
+                )
+            indicators.append(indicator)
+            # Aggregation behaves like negation for stratification: the
+            # condition's extension must be complete before the fold runs.
+            graph.add_edge(head, indicator, negative=True)
+        body_indicators[rule] = indicators
+    for rule in program.rules:
+        if rule.is_fact() and rule.head.is_ground():
+            graph.add_node(predicate_indicator(rule.head))
+
+    components, component_of, _edges = graph.condensation()
+    for source, target in graph.edges():
+        if graph.is_negative_edge(source, target) and \
+                component_of[source] == component_of[target]:
+            raise SeminaiveUnsupported(
+                "recursion through negation/aggregation at %r; the program is "
+                "not stratified" % (source,)
+            )
+
+    # Components arrive in reverse topological order (dependencies first),
+    # so one pass assigns levels: +1 across negative/aggregate edges.
+    level_of_component = {}
+    for index, component in enumerate(components):
+        level = 0
+        for node in component:
+            for successor in graph.successors(node):
+                target = component_of[successor]
+                if target == index:
+                    continue
+                bump = 1 if graph.is_negative_edge(node, successor) else 0
+                level = max(level, level_of_component[target] + bump)
+        level_of_component[index] = level
+
+    def indicator_level(indicator):
+        return level_of_component[component_of[indicator]]
+
+    by_level = {}
+    recursive = {}
+    for rule in proper:
+        level = indicator_level(head_indicators[rule])
+        by_level.setdefault(level, []).append(rule)
+        same_level = set()
+        for indicator in body_indicators[rule]:
+            if indicator is not None and indicator_level(indicator) == level:
+                same_level.add(indicator)
+        recursive[rule] = same_level
+
+    strata = [by_level[level] for level in sorted(by_level)]
+    return strata, recursive
+
+
+def _delta_sites(rule, recursive_indicators):
+    """Body indices of positive literals that read the current stratum."""
+    sites = []
+    for index, literal in enumerate(rule.body):
+        if not literal.positive or literal.is_builtin():
+            continue
+        if recursive_indicators is None:
+            sites.append(index)
+            continue
+        indicator = _literal_indicator(literal.atom)
+        if indicator is not None and indicator in recursive_indicators:
+            sites.append(index)
+    return sites
+
+
+def _run_steps(plan, store, delta_store, position, subst):
+    """Yield every substitution satisfying the plan's steps from ``position``."""
+    if position == len(plan.steps):
+        yield subst
+        return
+    step = plan.steps[position]
+    if step.kind == FETCH:
+        source = delta_store if step.from_delta else store
+        for fact in source.candidates(step.literal.atom, subst, step.index_positions):
+            extended = match(step.literal.atom, fact, subst)
+            if extended is not None:
+                yield from _run_steps(plan, store, delta_store, position + 1, extended)
+        return
+    if step.kind == NEGATION:
+        atom = subst.apply(step.literal.atom)
+        if not atom.is_ground():
+            raise GroundingError(
+                "negative subgoal %r not ground at evaluation time (rule %r "
+                "flounders)" % (atom, plan.rule)
+            )
+        if atom not in store:
+            yield from _run_steps(plan, store, delta_store, position + 1, subst)
+        return
+    # BUILTIN: the planner only schedules builtins once they are evaluable.
+    for solution in solve_builtin(step.literal.atom, subst):
+        yield from _run_steps(plan, store, delta_store, position + 1, solution)
+
+
+def _derive(plan, store, delta_store):
+    """Yield the ground heads derivable from ``plan`` against the store."""
+    for subst in _run_steps(plan, store, delta_store, 0, _EMPTY):
+        currents = [subst]
+        for literal in plan.deferred_builtins:
+            nexts = []
+            for candidate in currents:
+                nexts.extend(solve_builtin(literal.atom, candidate))
+            currents = nexts
+            if not currents:
+                break
+        for current in currents:
+            finals = [current]
+            for astep in plan.aggregates:
+                extension = store.facts(astep.condition_name, astep.condition_arity)
+                nexts = []
+                for candidate in finals:
+                    nexts.extend(
+                        evaluate_aggregate(
+                            astep.spec, candidate, extension, group_vars=astep.group_vars
+                        )
+                    )
+                finals = nexts
+                if not finals:
+                    break
+            for final in finals:
+                head = final.apply(plan.rule.head)
+                if not head.is_ground():
+                    raise GroundingError(
+                        "derived head %r is not ground; rule %r is not range "
+                        "restricted" % (head, plan.rule)
+                    )
+                yield head
+
+
+def _check_head(head, max_facts, max_term_depth, store):
+    if max_term_depth is not None and head.depth() > max_term_depth:
+        raise GroundingError(
+            "derived atom %r exceeds term depth %d; the program is probably "
+            "not strongly range restricted (cf. Example 5.2)" % (head, max_term_depth)
+        )
+    if len(store) >= max_facts:
+        raise GroundingError(
+            "semi-naive evaluation exceeded %d facts; the program is "
+            "probably not range restricted" % max_facts
+        )
+
+
+def _evaluate_stratum(rules, recursive, store, max_facts, max_term_depth):
+    """Run the semi-naive fixpoint of one stratum.  Returns the iteration
+    count; new facts go straight into ``store``."""
+    try:
+        base_plans = [(rule, compile_rule(rule)) for rule in rules]
+        variant_plans = []
+        for rule in rules:
+            for site in _delta_sites(rule, recursive[rule]):
+                variant_plans.append((rule, compile_rule(rule, delta_index=site)))
+    except PlanError as error:
+        raise SeminaiveUnsupported(str(error))
+
+    delta = []
+    for _rule, plan in base_plans:
+        for head in _derive(plan, store, None):
+            _check_head(head, max_facts, max_term_depth, store)
+            if store.add(head):
+                delta.append(head)
+
+    iterations = 1
+    while delta:
+        iterations += 1
+        delta_store = RelationStore(delta)
+        delta = []
+        for _rule, plan in variant_plans:
+            for head in _derive(plan, store, delta_store):
+                _check_head(head, max_facts, max_term_depth, store)
+                if store.add(head):
+                    delta.append(head)
+    return iterations
+
+
+def seminaive_evaluate(program, extra_facts=(), max_facts=1000000, max_term_depth=None):
+    """Evaluate ``program`` bottom-up with semi-naive iteration.
+
+    ``extra_facts`` seeds the store with additional ground atoms assumed
+    true (used by the modular evaluator to pass settled lower components
+    in).  Returns a :class:`SeminaiveResult`; the computed ``true`` set is
+    the perfect model of the (stratified) program — everything outside it is
+    false under the closed-world reading the paper's unfoundedness arguments
+    justify for range-restricted programs.
+
+    Raises :class:`SeminaiveUnsupported` for programs outside the supported
+    class and :class:`GroundingError` for unsafe (non-range-restricted)
+    rules, mirroring the grounding path's behaviour.
+    """
+    strata, recursive = _stratify(program)
+
+    store = RelationStore()
+    seeds = set()
+    for atom in extra_facts:
+        if not atom.is_ground():
+            raise GroundingError("extra fact %r is not ground" % (atom,))
+        store.add(atom)
+        seeds.add(atom)
+    for rule in program.rules:
+        if rule.is_fact():
+            if not rule.head.is_ground():
+                raise GroundingError("fact %r is not ground" % (rule.head,))
+            if store.add(rule.head):
+                seeds.add(rule.head)
+
+    iterations = 0
+    strata_names = []
+    for rules in strata:
+        iterations += _evaluate_stratum(rules, recursive, store, max_facts, max_term_depth)
+        strata_names.append(frozenset(predicate_name(rule.head) for rule in rules))
+
+    true = frozenset(store)
+    return SeminaiveResult(
+        true=true,
+        derived=true - seeds,
+        strata=tuple(strata_names),
+        iterations=iterations,
+        store=store,
+    )
+
+
+def seminaive_perfect_model(program, **kwargs):
+    """The perfect model of a stratified program as a (total)
+    :class:`Interpretation`: the derived atoms are true, everything else is
+    false by closed world."""
+    result = seminaive_evaluate(program, **kwargs)
+    return Interpretation(true=result.true, base=result.true)

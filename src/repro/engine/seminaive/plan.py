@@ -1,0 +1,252 @@
+"""Join-plan compilation for the semi-naive engine.
+
+A rule body is compiled into an ordered sequence of :class:`JoinStep`\\ s:
+fetches of positive literals from the indexed relation store, negation
+checks, and builtin evaluations.  The ordering is chosen greedily with the
+same sideways-information-passing notions the magic-sets rewriting uses
+(:mod:`repro.core.magic.sips`): a builtin runs as soon as it is evaluable, a
+negation as soon as it is ground, and among the positive literals the one
+sharing the most already-bound variables is fetched next (so joins stay
+connected instead of degenerating into cross products).  The compiled plan
+is then annotated by :func:`repro.core.magic.sips.left_to_right_sips` run
+over the reordered body, which supplies the bound-variable set before each
+step; from it the planner derives, for every fetch, the argument positions
+that will be ground at runtime — exactly the positions the relation store
+indexes on.
+
+For semi-naive evaluation the compiler also produces *delta variants*: the
+same rule with one designated recursive body literal forced to the front of
+the plan, to be scanned from the per-iteration delta relation instead of the
+full store.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, NamedTuple, Tuple
+
+from repro.core.magic.sips import left_to_right_sips
+from repro.engine.aggregates import group_variables
+from repro.hilog.errors import HiLogError
+from repro.hilog.program import Literal, Rule
+from repro.hilog.terms import App, Sym, Term, Var, atom_arguments, predicate_name
+
+
+class PlanError(HiLogError):
+    """Raised when a rule body cannot be ordered into a safe join plan
+    (a negative subgoal or an unbound-name subgoal that never becomes
+    schedulable — the floundering of the paper's footnote 10)."""
+
+
+#: Join-step kinds.
+FETCH = "fetch"
+NEGATION = "negation"
+BUILTIN = "builtin"
+
+
+class JoinStep(NamedTuple):
+    """One step of a compiled join plan."""
+
+    kind: str
+    literal: Literal
+    #: Index into the original rule body (for delta bookkeeping).
+    body_index: int
+    #: Variables guaranteed bound when the step runs.
+    bound_before: FrozenSet[Var]
+    #: Argument positions of a fetch that are ground at runtime (index key).
+    index_positions: Tuple[int, ...]
+    #: Whether this fetch reads the delta relation instead of the full store.
+    from_delta: bool
+
+
+class AggregateStep(NamedTuple):
+    """A compiled aggregate subgoal (runs after the body join)."""
+
+    spec: object
+    group_vars: Tuple[Var, ...]
+    condition_name: Term
+    condition_arity: int
+
+
+class JoinPlan(NamedTuple):
+    """A fully ordered evaluation plan for one rule."""
+
+    rule: Rule
+    steps: Tuple[JoinStep, ...]
+    #: Builtins that could not be scheduled and run (and may fail) last.
+    deferred_builtins: Tuple[Literal, ...]
+    aggregates: Tuple[AggregateStep, ...]
+    #: Body indices of positive non-builtin literals (delta-variant sites).
+    positive_body_indices: Tuple[int, ...]
+
+
+def _builtin_ready(literal, bound):
+    """Mirror of :func:`repro.engine.builtins.solve_builtin`'s capabilities:
+    a builtin is schedulable when it is ground, or when it is a binding
+    ``is``/``=`` whose defined side is ground."""
+    atom = literal.atom
+    if atom.variables() <= bound:
+        return True
+    if not isinstance(atom, App) or len(atom.args) != 2 or not isinstance(atom.name, Sym):
+        return False
+    op = atom.name.name
+    left, right = atom.args
+    if op in ("is", "=") and isinstance(left, Var) and right.variables() <= bound:
+        return True
+    if op == "=" and isinstance(right, Var) and left.variables() <= bound:
+        return True
+    return False
+
+
+def _positive_schedulable(literal, bound):
+    """A positive subgoal can be fetched unless its predicate name is an
+    unbound variable with no arguments to constrain the scan (the same
+    condition :func:`repro.core.magic.sips._flounders` enforces)."""
+    name_vars = predicate_name(literal.atom).variables()
+    if name_vars and not (name_vars <= bound or atom_arguments(literal.atom)):
+        return False
+    return True
+
+
+def _order_body(rule, delta_index):
+    """Greedy safe ordering of the rule body.
+
+    Returns ``(ordered, deferred_builtins)`` where ``ordered`` is a list of
+    ``(body_index, literal)`` pairs.  Raises :class:`PlanError` when a
+    negative or unbound-name subgoal can never be scheduled.
+    """
+    remaining = [(i, lit) for i, lit in enumerate(rule.body)]
+    ordered = []
+    bound = set()
+
+    def bind(literal):
+        # Reuse the SIPS binding rule: positives bind their variables,
+        # binding builtins bind their left-hand side, negation binds nothing.
+        if literal.is_builtin():
+            atom = literal.atom
+            if (
+                isinstance(atom, App)
+                and isinstance(atom.name, Sym)
+                and atom.name.name in ("is", "=")
+                and len(atom.args) == 2
+            ):
+                left, right = atom.args
+                if isinstance(left, Var) and right.variables() <= bound:
+                    bound.add(left)
+                elif isinstance(right, Var) and left.variables() <= bound:
+                    bound.add(right)
+            return
+        if literal.positive:
+            bound.update(literal.atom.variables())
+
+    if delta_index is not None:
+        # The delta literal is forced first: scanning the (small) delta
+        # relation is always admissible, whatever its binding pattern.
+        for item in list(remaining):
+            if item[0] == delta_index:
+                remaining.remove(item)
+                ordered.append(item)
+                bind(item[1])
+                break
+
+    while remaining:
+        chosen = None
+        for item in remaining:  # 1. builtins prune/bind earliest
+            if item[1].is_builtin() and _builtin_ready(item[1], bound):
+                chosen = item
+                break
+        if chosen is None:  # 2. ground negations prune early
+            for item in remaining:
+                literal = item[1]
+                if literal.negative and not literal.is_builtin() and \
+                        literal.atom.variables() <= bound:
+                    chosen = item
+                    break
+        if chosen is None:  # 3. most-connected schedulable positive literal
+            best_score = -1
+            for item in remaining:
+                literal = item[1]
+                if not literal.positive or literal.is_builtin():
+                    continue
+                if not _positive_schedulable(literal, bound):
+                    continue
+                score = len(literal.atom.variables() & bound)
+                if score > best_score:
+                    best_score = score
+                    chosen = item
+            if chosen is None:
+                break
+        remaining.remove(chosen)
+        ordered.append(chosen)
+        bind(chosen[1])
+
+    deferred = []
+    for index, literal in remaining:
+        if literal.is_builtin():
+            deferred.append(literal)  # retried after the join, as the grounder does
+            continue
+        raise PlanError(
+            "subgoal %r of rule %r cannot be scheduled without floundering"
+            % (literal, rule)
+        )
+    return ordered, tuple(deferred)
+
+
+def compile_rule(rule, delta_index=None):
+    """Compile ``rule`` into a :class:`JoinPlan`.
+
+    ``delta_index`` (a body position of a positive non-builtin literal)
+    produces the semi-naive delta variant in which that literal is read from
+    the delta relation and scheduled first.
+    """
+    ordered, deferred = _order_body(rule, delta_index)
+
+    # Annotate the reordered body with the SIPS machinery: bound-before sets
+    # drive index selection, and the flounder flags double-check negation
+    # safety (the delta-first step is exempt — a delta scan needs no
+    # bindings).
+    reordered = Rule(rule.head, tuple(lit for _i, lit in ordered), rule.aggregates)
+    sips_steps = left_to_right_sips(reordered, frozenset())
+
+    steps = []
+    for position, ((body_index, literal), sip) in enumerate(zip(ordered, sips_steps)):
+        from_delta = delta_index is not None and body_index == delta_index
+        if literal.is_builtin():
+            steps.append(JoinStep(BUILTIN, literal, body_index, sip.bound_before, (), False))
+            continue
+        if literal.negative:
+            if sip.flounders:
+                raise PlanError(
+                    "negative subgoal %r of rule %r is reached with unbound "
+                    "variables (the rule flounders)" % (literal.atom, rule)
+                )
+            steps.append(JoinStep(NEGATION, literal, body_index, sip.bound_before, (), False))
+            continue
+        index_positions = tuple(
+            i for i, arg in enumerate(atom_arguments(literal.atom))
+            if arg.variables() <= sip.bound_before
+        )
+        steps.append(
+            JoinStep(FETCH, literal, body_index, sip.bound_before, index_positions, from_delta)
+        )
+
+    aggregate_steps = []
+    for spec in rule.aggregates:
+        condition_name = predicate_name(spec.condition)
+        if not condition_name.is_ground():
+            raise PlanError(
+                "aggregate condition %r has a non-ground predicate name" % (spec.condition,)
+            )
+        arity = len(atom_arguments(spec.condition)) if isinstance(spec.condition, App) else -1
+        aggregate_steps.append(
+            AggregateStep(
+                spec=spec,
+                group_vars=tuple(sorted(group_variables(spec, rule), key=lambda v: v.name)),
+                condition_name=condition_name,
+                condition_arity=arity,
+            )
+        )
+
+    positives = tuple(
+        i for i, lit in enumerate(rule.body) if lit.positive and not lit.is_builtin()
+    )
+    return JoinPlan(rule, tuple(steps), deferred, tuple(aggregate_steps), positives)

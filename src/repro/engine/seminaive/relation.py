@@ -1,0 +1,192 @@
+"""Indexed fact relations for the semi-naive engine.
+
+A :class:`RelationStore` partitions ground atoms by *predicate indicator* —
+the pair ``(predicate-name term, arity)`` — the HiLog analogue of the
+``p/n`` indicators of a deductive database.  Because HiLog predicate names
+may themselves be complex terms (``winning(m)``), the name component of the
+indicator is an arbitrary ground term; atoms that are not applications
+(propositional symbols) use arity ``-1`` so that ``p`` and the zero-ary
+application ``p()`` stay distinct (footnote 1 of the paper).
+
+Each :class:`Relation` keeps its facts in insertion order together with
+on-demand hash indexes keyed by subsets of argument positions: the first
+lookup that binds positions ``(0, 2)`` builds a dictionary from the values
+at those positions to the matching facts, and subsequent insertions keep
+every existing index current.  This is what makes semi-naive joins run in
+time proportional to the number of matching facts instead of the size of
+the relation.
+
+Lookups with a *non-ground* predicate name (the higher-order case, e.g. the
+body literal ``M(X, Y)`` before ``M`` is bound) fall back to a spill scan
+over every relation of the right arity, optionally narrowed by the
+outermost symbol of the pattern's name.
+"""
+
+from __future__ import annotations
+
+from repro.hilog.errors import GroundingError
+from repro.hilog.terms import App, Var, outermost_symbol
+
+
+def predicate_indicator(atom):
+    """The ``(name, arity)`` indicator of a ground atom.
+
+    Non-application atoms (bare symbols used as propositions) get arity
+    ``-1`` so they never collide with zero-ary applications.
+    """
+    if isinstance(atom, App):
+        return (atom.name, len(atom.args))
+    return (atom, -1)
+
+
+class Relation:
+    """The facts of one predicate indicator, with on-demand hash indexes."""
+
+    __slots__ = ("indicator", "facts", "_indexes")
+
+    def __init__(self, indicator):
+        self.indicator = indicator
+        self.facts = []
+        # positions tuple -> {argument-value tuple: [facts]}
+        self._indexes = {}
+
+    def __len__(self):
+        return len(self.facts)
+
+    def __iter__(self):
+        return iter(self.facts)
+
+    def add(self, atom):
+        """Append a fact (assumed new — membership lives in the store)."""
+        self.facts.append(atom)
+        for positions, table in self._indexes.items():
+            key = tuple(atom.args[i] for i in positions)
+            table.setdefault(key, []).append(atom)
+
+    def lookup(self, positions, key):
+        """Facts whose arguments at ``positions`` equal ``key`` (a tuple of
+        ground terms).  Builds the index for ``positions`` on first use."""
+        if not positions:
+            return self.facts
+        table = self._indexes.get(positions)
+        if table is None:
+            table = {}
+            for atom in self.facts:
+                fact_key = tuple(atom.args[i] for i in positions)
+                table.setdefault(fact_key, []).append(atom)
+            self._indexes[positions] = table
+        return table.get(key, ())
+
+    def index_count(self):
+        """Number of indexes materialized so far (for diagnostics)."""
+        return len(self._indexes)
+
+
+class RelationStore:
+    """A database of ground atoms partitioned into indexed relations."""
+
+    __slots__ = ("_relations", "_by_arity", "_members", "_count")
+
+    def __init__(self, facts=()):
+        self._relations = {}
+        self._by_arity = {}
+        self._members = set()
+        self._count = 0
+        for atom in facts:
+            self.add(atom)
+
+    def __len__(self):
+        return self._count
+
+    def __contains__(self, atom):
+        return atom in self._members
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def add(self, atom):
+        """Insert a ground atom; return ``True`` when it was new."""
+        if atom in self._members:
+            return False
+        if not atom.is_ground():
+            raise GroundingError("cannot store non-ground atom %r" % (atom,))
+        self._members.add(atom)
+        self._count += 1
+        indicator = predicate_indicator(atom)
+        relation = self._relations.get(indicator)
+        if relation is None:
+            relation = Relation(indicator)
+            self._relations[indicator] = relation
+            self._by_arity.setdefault(indicator[1], []).append(relation)
+        relation.add(atom)
+        return True
+
+    def relation(self, name, arity):
+        """The :class:`Relation` for an indicator, or ``None``."""
+        return self._relations.get((name, arity))
+
+    def facts(self, name, arity):
+        """All facts of one indicator (empty list when absent)."""
+        relation = self._relations.get((name, arity))
+        return relation.facts if relation is not None else []
+
+    def relations(self):
+        """All relations, in first-insertion order of their indicators."""
+        return list(self._relations.values())
+
+    def atoms(self):
+        """Every stored atom (relation by relation, insertion order)."""
+        for relation in self._relations.values():
+            for atom in relation.facts:
+                yield atom
+
+    def candidates(self, pattern, subst, index_positions=()):
+        """Facts that could match ``pattern`` under ``subst``.
+
+        ``index_positions`` names the argument positions of ``pattern`` that
+        are ground once ``subst`` is applied (precomputed by the join
+        planner); when the pattern's predicate name is also ground the lookup
+        is a single hash probe.  Otherwise the spill path scans the relations
+        of the pattern's arity, narrowed by the outermost symbol of the name
+        when one exists.
+        """
+        applied_pattern = pattern
+        if not isinstance(pattern, App):
+            # Propositional pattern: a ground symbol, or a bare variable
+            # (which can match any stored atom — full spill).
+            resolved = subst.apply(pattern) if isinstance(pattern, Var) else pattern
+            if isinstance(resolved, Var):
+                return list(self._members)
+            relation = self._relations.get(predicate_indicator(resolved))
+            return relation.facts if relation is not None else ()
+
+        name = subst.apply(pattern.name)
+        arity = len(pattern.args)
+        if name.is_ground():
+            relation = self._relations.get((name, arity))
+            if relation is None:
+                return ()
+            if index_positions:
+                key = tuple(subst.apply(pattern.args[i]) for i in index_positions)
+                if all(part.is_ground() for part in key):
+                    return relation.lookup(index_positions, key)
+            return relation.facts
+
+        # Spill: the predicate name is still non-ground.  Narrow by the
+        # outermost symbol when the name has one (e.g. ``winning(M)``), else
+        # scan every relation of the right arity.
+        symbol = outermost_symbol(name)
+        result = []
+        for relation in self._by_arity.get(arity, ()):
+            if symbol is not None and outermost_symbol(relation.indicator[0]) != symbol:
+                continue
+            result.extend(relation.facts)
+        return result
+
+    def stats(self):
+        """Diagnostic summary: relation count, fact count, index count."""
+        return {
+            "relations": len(self._relations),
+            "facts": self._count,
+            "indexes": sum(r.index_count() for r in self._relations.values()),
+        }

@@ -12,8 +12,16 @@ package generates parameterized instances of each:
   HiLog program with aggregation (Section 6).
 * :mod:`repro.workloads.random_programs` — random range-restricted normal
   programs for the reduction-theorem and preservation experiments.
+* :mod:`repro.workloads.closure` — transitive-closure programs (plain,
+  Datahilog and higher-order) for the semi-naive scaling benchmark.
 """
 
+from repro.workloads.closure import (
+    datahilog_closure_program,
+    expected_closure,
+    hilog_closure_program,
+    transitive_closure_program,
+)
 from repro.workloads.graphs import (
     chain_edges,
     cycle_edges,
@@ -44,4 +52,8 @@ __all__ = [
     "parts_explosion_program",
     "random_hierarchy",
     "random_range_restricted_program",
+    "transitive_closure_program",
+    "datahilog_closure_program",
+    "hilog_closure_program",
+    "expected_closure",
 ]
