@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and record the results machine-readably.
+
+Each ``bench_e*.py`` file is executed with pytest-benchmark's JSON output
+enabled; the per-benchmark results (name, wall time, parameters, the
+benchmarks' own ``extra_info`` sizes/speedups) are merged into a single
+``BENCH_results.json`` so the performance trajectory of the repository is
+recorded run over run (CI uploads the file as an artifact).
+
+Usage::
+
+    python benchmarks/run_all.py                  # the full suite
+    python benchmarks/run_all.py --only e10 e11   # a subset (substring match)
+    python benchmarks/run_all.py --smoke          # the fast incremental smoke set
+    python benchmarks/run_all.py --output path.json
+
+Exit status is non-zero when any benchmark file fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+
+#: The subset exercised by the CI smoke step: the incremental-maintenance
+#: acceptance benchmark (fast, asserts the speedup bar).
+SMOKE = ("bench_e11_incremental.py",)
+
+
+def discover(only=None, smoke=False):
+    if smoke:
+        return [os.path.join(HERE, name) for name in SMOKE]
+    files = sorted(glob.glob(os.path.join(HERE, "bench_e*.py")))
+    if only:
+        files = [f for f in files if any(token in os.path.basename(f) for token in only)]
+    return files
+
+
+def run_file(path, timeout):
+    """Run one benchmark file; returns ``(ok, wall_seconds, benchmarks)``."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "pytest", path,
+        "--benchmark-only", "-q", "--benchmark-json=%s" % json_path,
+    ]
+    start = time.perf_counter()
+    try:
+        completed = subprocess.run(
+            command, cwd=REPO, env=env, timeout=timeout,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        ok = completed.returncode == 0
+        output = completed.stdout.decode("utf-8", "replace")
+    except subprocess.TimeoutExpired as error:
+        ok = False
+        output = "TIMEOUT after %ss\n%s" % (
+            timeout, (error.stdout or b"").decode("utf-8", "replace")
+        )
+    wall = time.perf_counter() - start
+
+    benchmarks = []
+    try:
+        with open(json_path) as handle:
+            report = json.load(handle)
+        for bench in report.get("benchmarks", ()):
+            benchmarks.append({
+                "name": bench.get("name"),
+                "group": bench.get("group"),
+                "params": bench.get("params"),
+                "wall_time_s": bench.get("stats", {}).get("mean"),
+                "rounds": bench.get("stats", {}).get("rounds"),
+                "sizes": bench.get("extra_info") or {},
+            })
+    except (OSError, ValueError):
+        pass
+    finally:
+        try:
+            os.unlink(json_path)
+        except OSError:
+            pass
+    return ok, wall, benchmarks, output
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="substring filters on benchmark file names")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run only the fast incremental smoke subset")
+    parser.add_argument("--output", default=os.path.join(REPO, "BENCH_results.json"))
+    parser.add_argument("--timeout", type=float, default=1800.0,
+                        help="per-file timeout in seconds")
+    args = parser.parse_args(argv)
+
+    files = discover(only=args.only, smoke=args.smoke)
+    if not files:
+        print("no benchmark files matched", file=sys.stderr)
+        return 2
+
+    results = {
+        "suite": "conf_pods_Ross91a benchmarks",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "files": [],
+        "benchmarks": [],
+    }
+    failures = 0
+    for path in files:
+        name = os.path.basename(path)
+        print("== %s" % name, flush=True)
+        ok, wall, benchmarks, output = run_file(path, args.timeout)
+        if not ok:
+            failures += 1
+            print(output)
+        print("   %s in %.1fs, %d benchmark(s)"
+              % ("ok" if ok else "FAILED", wall, len(benchmarks)), flush=True)
+        results["files"].append({"file": name, "ok": ok, "wall_time_s": round(wall, 3)})
+        for bench in benchmarks:
+            bench["file"] = name
+            results["benchmarks"].append(bench)
+
+    results["total_wall_time_s"] = round(
+        sum(entry["wall_time_s"] for entry in results["files"]), 3
+    )
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (%d files, %d benchmarks, %d failure(s))"
+          % (args.output, len(results["files"]), len(results["benchmarks"]), failures))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

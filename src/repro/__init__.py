@@ -12,6 +12,9 @@ paper's semantic toolkit around them:
 * the paper's contributions: HiLog well-founded/stable semantics, range
   restriction, preservation under extensions, modular stratification for
   HiLog and magic sets (:mod:`repro.core`),
+* incremental deductive-database sessions maintaining materialized perfect
+  models under fact insertion/retraction by counting and delete-rederive
+  (:mod:`repro.db`),
 * workload generators and analysis helpers for the experiments
   (:mod:`repro.workloads`, :mod:`repro.analysis`).
 
@@ -47,6 +50,7 @@ from repro.hilog import (
     parse_term,
 )
 from repro.engine import Interpretation, conservatively_extends, well_founded_model, stable_models
+from repro.db import DatabaseSession, Transaction, UpdateSummary, open_session
 from repro.core import (
     answer_query,
     check_domain_independence,
@@ -76,6 +80,8 @@ __all__ = [
     "HerbrandUniverse",
     # engine
     "Interpretation", "conservatively_extends", "well_founded_model", "stable_models",
+    # incremental database sessions
+    "DatabaseSession", "Transaction", "UpdateSummary", "open_session",
     # core
     "hilog_well_founded_model", "hilog_stable_models",
     "normal_well_founded_model", "normal_stable_models",

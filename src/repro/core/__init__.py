@@ -46,6 +46,7 @@ from repro.core.modular import (
 from repro.core.datahilog import is_datahilog, datahilog_relevant_atoms
 from repro.core.magic import (
     MagicProgram,
+    answer_from_store,
     magic_rewrite,
     magic_evaluate,
     answer_query,
@@ -77,4 +78,5 @@ __all__ = [
     "magic_rewrite",
     "magic_evaluate",
     "answer_query",
+    "answer_from_store",
 ]

@@ -28,7 +28,12 @@ This package provides:
 from repro.core.magic.adornment import abstract_call, adornment_of, FREE
 from repro.core.magic.sips import left_to_right_sips, SipsStep
 from repro.core.magic.rewrite import MagicProgram, magic_rewrite
-from repro.core.magic.evaluate import MagicEvaluationResult, answer_query, magic_evaluate
+from repro.core.magic.evaluate import (
+    MagicEvaluationResult,
+    answer_from_store,
+    answer_query,
+    magic_evaluate,
+)
 
 __all__ = [
     "FREE",
@@ -39,6 +44,7 @@ __all__ = [
     "MagicProgram",
     "magic_rewrite",
     "MagicEvaluationResult",
+    "answer_from_store",
     "magic_evaluate",
     "answer_query",
 ]

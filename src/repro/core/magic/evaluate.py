@@ -215,8 +215,42 @@ def _seminaive_magic(program, query_literals, max_atoms):
     )
 
 
+def answer_from_store(store, query_literals):
+    """Answer a query from a materialized total model in a relation store.
+
+    This is the session-backed path of :func:`magic_evaluate`: a
+    :class:`~repro.db.session.DatabaseSession` keeps its (total) perfect
+    model maintained in a relation store, so a bound query is a handful of
+    index probes — no rewriting, no evaluation.  The answers follow
+    :func:`magic_evaluate`'s contract exactly — the ground instances of the
+    *first* query literal's atom that are true in the model (additional
+    literals drive relevance in the evaluating paths, never filter
+    answers) — so any query shape, including negative and conjunctive ones
+    the evaluating paths would reject on aggregate programs, is answered by
+    one indexed match.  Returns a :class:`MagicEvaluationResult` with
+    ``ground_rules`` 0 and the interpretation restricted to the answers.
+    """
+    pattern = query_literals[0].atom
+    from repro.hilog.terms import atom_arguments
+
+    positions = tuple(
+        i for i, arg in enumerate(atom_arguments(pattern)) if arg.is_ground()
+    )
+    candidates = store.candidates(pattern, Substitution(), positions)
+    matched = [atom for atom in candidates if match(pattern, atom) is not None]
+    matched.sort(key=repr)
+    answers = frozenset(matched)
+    return MagicEvaluationResult(
+        answers=tuple(matched),
+        interpretation=Interpretation(true=answers, base=answers),
+        relevant_atoms=answers,
+        call_patterns=(pattern,),
+        ground_rules=0,
+    )
+
+
 def magic_evaluate(program, query, max_atoms=500000, engine="alternating",
-                   strategy="ground"):
+                   strategy="ground", store=None):
     """Answer ``query`` against ``program`` by query-driven evaluation.
 
     ``query`` may be a single atom, a :class:`Literal` tuple, or a string
@@ -230,17 +264,26 @@ def magic_evaluate(program, query, max_atoms=500000, engine="alternating",
     path), falling back to the default ``"ground"`` oracle — call-pattern
     propagation plus the ground well-founded computation — whenever the fast
     path does not apply.  Both strategies return the same answers.
+
+    ``store`` is the session-backed path: a relation store already holding
+    the program's maintained total model (see :mod:`repro.db`).  Queries
+    are then answered by matching the first query atom against the store —
+    no rewriting or evaluation runs at all.
     """
     if strategy not in ("ground", "seminaive"):
         raise ValueError("unknown strategy %r (use 'ground' or 'seminaive')" % (strategy,))
-    if program.has_aggregates():
-        raise GroundingError("magic evaluation does not support aggregate rules")
     if isinstance(query, Term):
         query_literals = (Literal(query),)
     else:
         query_literals = tuple(query)
     if not query_literals:
         raise ValueError("empty query")
+
+    if store is not None:
+        return answer_from_store(store, query_literals)
+
+    if program.has_aggregates():
+        raise GroundingError("magic evaluation does not support aggregate rules")
 
     if strategy == "seminaive":
         fast = _seminaive_magic(program, query_literals, max_atoms)

@@ -1,0 +1,52 @@
+"""Incremental deductive-database sessions over the semi-naive engine.
+
+The paper's modularly stratified programs are exactly the class a
+long-lived deductive database can serve: :class:`DatabaseSession`
+materializes the perfect model once and then *maintains* it under fact
+assertion and retraction — the counting algorithm for non-recursive
+strata, delete-rederive (DRed) for recursive and negation strata,
+stratum-local recomputation for aggregates — instead of recomputing from
+scratch on every change (Gupta, Mumick & Subrahmanian, SIGMOD'93).
+
+Quickstart::
+
+    from repro.db import DatabaseSession
+
+    session = DatabaseSession('''
+        tc(X, Y) :- e(X, Y).
+        tc(X, Y) :- e(X, Z), tc(Z, Y).
+        e(a, b). e(b, c).
+    ''')
+    session.insert("e(c, d).")
+    assert session.ask("tc(a, d)")
+    session.retract("e(b, c).")
+    assert not session.ask("tc(a, d)")
+    print(session.query("tc(a, X)"))
+"""
+
+from repro.db.maintenance import Delta, counting_update, dred_update, recompute_stratum
+from repro.db.plans import COUNTING, DRED, RECOMPUTE, MaintenancePlans, build_maintenance_plans
+from repro.db.session import (
+    DatabaseSession,
+    SessionIntegrityError,
+    Transaction,
+    UpdateSummary,
+    open_session,
+)
+
+__all__ = [
+    "DatabaseSession",
+    "Transaction",
+    "UpdateSummary",
+    "SessionIntegrityError",
+    "open_session",
+    "Delta",
+    "MaintenancePlans",
+    "build_maintenance_plans",
+    "counting_update",
+    "dred_update",
+    "recompute_stratum",
+    "COUNTING",
+    "DRED",
+    "RECOMPUTE",
+]

@@ -1,0 +1,500 @@
+"""Incremental view-maintenance algorithms over the semi-naive engine.
+
+Given a settled stratum and a *signed delta* of the strata below it (facts
+that just became true, facts that just became false), the functions here
+patch the stratum's materialized extension instead of recomputing it:
+
+* :func:`counting_update` — the **counting algorithm** (Gupta, Mumick &
+  Subrahmanian, "Maintaining views incrementally", SIGMOD'93) for
+  non-recursive strata without negation or aggregation.  Every fact carries
+  a support count (the number of rule instantiations deriving it, plus one
+  per explicit assertion); the signed delta of derivation counts is computed
+  by the standard finite-difference expansion of the body join —
+  ``Δ(R1 ⋈ … ⋈ Rn) = Σ_j R1ⁿᵉʷ ⋈ … ⋈ R_{j-1}ⁿᵉʷ ⋈ ΔR_j ⋈ R_{j+1}ᵒˡᵈ ⋈ … ⋈
+  Rnᵒˡᵈ`` — and a fact flips truth value exactly when its count crosses
+  zero.
+
+* :func:`dred_update` — **delete-rederive** (DRed, same paper) for
+  recursive strata and strata with stratified negation.  Deletion first
+  *over-deletes* everything with a derivation through a deleted fact (or
+  through a negative subgoal that just became true), then *rederives* the
+  over-deleted facts that still have an alternative derivation, then
+  processes insertions with the engine's injected-delta semi-naive
+  propagation.  Because HiLog fact counts can be self-supporting through
+  recursion (a cycle keeps itself alive), counting alone is unsound there —
+  this is the classical division of labour between the two algorithms.
+
+* :func:`recompute_stratum` — stratum-local recomputation, the fallback for
+  aggregate strata (whose group extensions may change non-monotonically in
+  ways neither algorithm tracks) and for any stratum whose incremental step
+  fails its integrity checks.
+
+All three leave the shared :class:`~repro.engine.seminaive.relation.RelationStore`
+consistent and extend the running :class:`Delta` with the stratum's own net
+changes, so the next stratum up sees exactly the facts that flipped.
+"""
+
+from __future__ import annotations
+
+from repro.engine.seminaive.engine import (
+    PlanSources,
+    check_derived_atom,
+    evaluate_stratum,
+    plan_satisfiable,
+    run_plan,
+)
+from repro.db.plans import COUNTING
+from repro.engine.seminaive.relation import RelationStore, predicate_indicator
+from repro.hilog.errors import GroundingError
+from repro.hilog.subst import Substitution
+from repro.hilog.terms import App
+from repro.hilog.unify import match
+
+
+class Delta:
+    """A signed set of fact changes: atoms that became true (``added``) and
+    atoms that became false (``removed``), with cancellation — re-adding a
+    removed atom erases the removal instead of recording both."""
+
+    __slots__ = ("added", "removed")
+
+    def __init__(self):
+        self.added = RelationStore()
+        self.removed = RelationStore()
+
+    def record_add(self, atom):
+        if atom in self.removed:
+            self.removed.remove(atom)
+        else:
+            self.added.add(atom)
+
+    def record_remove(self, atom):
+        if atom in self.added:
+            self.added.remove(atom)
+        else:
+            self.removed.add(atom)
+
+    def is_empty(self):
+        return not len(self.added) and not len(self.removed)
+
+    def touches(self, indicators):
+        """Whether the delta contains facts of any of the given predicate
+        indicators (``None`` means "unknowable reads" — always true)."""
+        if indicators is None:
+            return not self.is_empty()
+        for name, arity in indicators:
+            if self.added.has_facts(name, arity) or self.removed.has_facts(name, arity):
+                return True
+        return False
+
+
+class _ExcludingView:
+    """A store minus the members of another store (no copying)."""
+
+    __slots__ = ("store", "minus")
+
+    def __init__(self, store, minus):
+        self.store = store
+        self.minus = minus
+
+    def candidates(self, pattern, subst, index_positions=()):
+        minus = self.minus
+        return [
+            fact
+            for fact in self.store.candidates(pattern, subst, index_positions)
+            if fact not in minus
+        ]
+
+    def __contains__(self, atom):
+        return atom in self.store and atom not in self.minus
+
+
+class _UnionView:
+    """The union of several disjoint fact sources."""
+
+    __slots__ = ("sources",)
+
+    def __init__(self, *sources):
+        self.sources = sources
+
+    def candidates(self, pattern, subst, index_positions=()):
+        result = []
+        for source in self.sources:
+            result.extend(source.candidates(pattern, subst, index_positions))
+        return result
+
+    def __contains__(self, atom):
+        return any(atom in source for source in self.sources)
+
+
+def old_state(store, delta):
+    """A read-only view of the database state *before* ``delta`` was applied
+    to ``store`` (the delta's additions are masked out, its removals shine
+    through again).  Degenerate deltas skip the wrapper layers."""
+    if not len(delta.added):
+        if not len(delta.removed):
+            return store
+        return _UnionView(store, delta.removed)
+    return _UnionView(_ExcludingView(store, delta.added), delta.removed)
+
+
+class _FactsDelta:
+    """A small per-round delta: a plain fact list posing as a fact source.
+
+    The semi-naive worklist rounds of over-deletion are often tiny (one fact
+    per round on path-shaped data); building a full indexed
+    :class:`RelationStore` per round would dominate the maintenance cost.
+    Candidates are returned unfiltered — the join's ``match`` rejects
+    non-matching facts, and the rounds are small by construction.
+    """
+
+    __slots__ = ("facts", "indicators")
+
+    def __init__(self, facts):
+        self.facts = facts
+        self.indicators = {predicate_indicator(fact) for fact in facts}
+
+    def __len__(self):
+        return len(self.facts)
+
+    def candidates(self, _pattern, _subst, _index_positions=()):
+        return self.facts
+
+    def has_indicator(self, indicator):
+        return indicator in self.indicators
+
+
+class StagedSources(PlanSources):
+    """Plan sources that stage different database states per body position.
+
+    The delta-marked step reads ``delta``; other fetches read ``before``
+    when their original body index precedes the delta site and ``after``
+    otherwise; negation checks go against ``neg``.  This is exactly the
+    staging the finite-difference counting rules and the DRed delta rules
+    need.
+    """
+
+    __slots__ = ("site", "before", "after", "neg")
+
+    def __init__(self, store, delta, site, before, after, neg):
+        super().__init__(store, delta)
+        self.site = site
+        self.before = before
+        self.after = after
+        self.neg = neg
+
+    def candidates(self, step, subst):
+        if step.from_delta:
+            source = self.delta
+        elif step.body_index < self.site:
+            source = self.before
+        else:
+            source = self.after
+        return source.candidates(step.literal.atom, subst, step.index_positions)
+
+    def holds(self, atom):
+        return atom in self.neg
+
+
+def _delta_relevant(delta_store, indicator):
+    """Whether a delta store could feed a variant anchored at ``indicator``
+    (``None``: non-ground site pattern — any delta fact might match)."""
+    if not len(delta_store):
+        return False
+    if indicator is None:
+        return True
+    if isinstance(delta_store, _FactsDelta):
+        return delta_store.has_indicator(indicator)
+    return delta_store.has_facts(indicator[0], indicator[1])
+
+
+class _Limits:
+    """Resource caps shared by every maintenance step of one update."""
+
+    __slots__ = ("max_facts", "max_term_depth")
+
+    def __init__(self, max_facts, max_term_depth):
+        self.max_facts = max_facts
+        self.max_term_depth = max_term_depth
+
+    def check(self, head, store):
+        check_derived_atom(head, store, self.max_facts, self.max_term_depth)
+
+
+# ---------------------------------------------------------------------------
+# Counting (non-recursive strata, no negation/aggregation)
+# ---------------------------------------------------------------------------
+
+def counting_update(plans, store, delta, edb_added, edb_removed, limits):
+    """Maintain a non-recursive positive stratum by support counting.
+
+    ``plans`` is a :class:`~repro.db.plans.MaintenancePlans`; ``delta`` the
+    accumulated signed changes of the strata below (extended in place with
+    this stratum's own changes); ``edb_added``/``edb_removed`` the explicit
+    assertions/retractions targeting this stratum's head predicates.
+    """
+    before = store  # lower strata already hold their new state
+    after = old_state(store, delta)
+
+    changes = {}
+    for _rule, site, indicator, plan in plans.update_variants:
+        for sign, delta_store in ((1, delta.added), (-1, delta.removed)):
+            if not _delta_relevant(delta_store, indicator):
+                continue
+            sources = StagedSources(
+                store, delta_store, site, before=before, after=after, neg=None
+            )
+            for head in run_plan(plan, sources):
+                changes[head] = changes.get(head, 0) + sign
+
+    # Explicit assertions/retractions are one support each.
+    for atom in edb_added:
+        changes[atom] = changes.get(atom, 0) + 1
+    for atom in edb_removed:
+        changes[atom] = changes.get(atom, 0) - 1
+
+    for atom, change in changes.items():
+        if change > 0:
+            limits.check(atom, store)
+            if store.add_support(atom, change):
+                delta.record_add(atom)
+        elif change < 0:
+            if store.remove_support(atom, -change):
+                delta.record_remove(atom)
+
+
+# ---------------------------------------------------------------------------
+# Delete-rederive (recursive strata, stratified negation)
+# ---------------------------------------------------------------------------
+
+def _overdelete(plans, store, delta, edb_removed):
+    """The DRed over-deletion phase: the downward closure of everything with
+    a derivation through a deleted fact (or a newly-true negated atom),
+    computed against the *old* database state.  Returns the over-deleted
+    facts; the store is not yet modified."""
+    old = old_state(store, delta)
+    overdeleted = set()
+    worklist = []
+
+    def collect(atom):
+        if atom in store and atom not in overdeleted:
+            overdeleted.add(atom)
+            worklist.append(atom)
+
+    for atom in edb_removed:
+        collect(atom)
+
+    # Seeds: lost derivations through the lower strata's changes.
+    for _rule, site, indicator, plan in plans.update_variants:
+        if _delta_relevant(delta.removed, indicator):
+            sources = StagedSources(
+                store, delta.removed, site, before=old, after=old, neg=old
+            )
+            for head in run_plan(plan, sources):
+                collect(head)
+    for _rule, site, indicator, plan in plans.negation_variants:
+        # A negated subgoal that just became true kills old derivations.
+        if _delta_relevant(delta.added, indicator):
+            sources = StagedSources(
+                store, delta.added, site, before=old, after=old, neg=old
+            )
+            for head in run_plan(plan, sources):
+                collect(head)
+
+    # Propagate through the stratum's own (recursive) dependencies.
+    own_variants = [
+        variant for variant in plans.update_variants
+        if plans.site_in_stratum(variant[2])
+    ]
+    while worklist:
+        delta_store = _FactsDelta(worklist)
+        worklist = []
+        for _rule, site, indicator, plan in own_variants:
+            if not _delta_relevant(delta_store, indicator):
+                continue
+            sources = StagedSources(
+                store, delta_store, site, before=old, after=old, neg=old
+            )
+            for head in run_plan(plan, sources):
+                collect(head)
+    return overdeleted
+
+
+def _rederive(plans, store, overdeleted, edb):
+    """The DRed rederivation phase: restore every over-deleted fact that is
+    still asserted or still has a derivation in the new state.  Returns the
+    set of rederived facts."""
+    remaining = set(overdeleted)
+    rederived = set()
+    sources = PlanSources(store)
+
+    def derivable(atom):
+        for rule, plan, bound_body, linear_head in plans.rederive_plans:
+            if linear_head is not None:
+                if not isinstance(atom, App) or atom.name != rule.head.name \
+                        or len(atom.args) != len(linear_head):
+                    continue
+                binding = Substitution._trusted(dict(zip(linear_head, atom.args)))
+            else:
+                binding = match(rule.head, atom)
+                if binding is None:
+                    continue
+            if bound_body is not None:
+                # Fast path: the head instantiates the whole body — the
+                # derivation test is pure membership, no join machinery.
+                positives, negatives = bound_body
+                if all(binding.apply(body_atom) in store for body_atom in positives) \
+                        and not any(binding.apply(body_atom) in store
+                                    for body_atom in negatives):
+                    return True
+                continue
+            if plan_satisfiable(plan, sources, binding):
+                return True
+        return False
+
+    worklist = []
+
+    def restore(atom):
+        store.add(atom)
+        rederived.add(atom)
+        remaining.discard(atom)
+        worklist.append(atom)
+
+    # Pass 1: facts directly derivable (or still asserted) in the new state.
+    for atom in list(remaining):
+        if atom not in remaining:
+            continue
+        if atom in edb or derivable(atom):
+            restore(atom)
+
+    # Pass 2: delta-driven propagation — a restored fact may support other
+    # over-deleted facts, so push restorations through the stratum's own
+    # dependency sites instead of rescanning the whole remainder per round.
+    own_variants = [
+        variant for variant in plans.update_variants
+        if plans.site_in_stratum(variant[2])
+    ]
+    while worklist:
+        delta_store = _FactsDelta(worklist)
+        worklist = []
+        for _rule, site, indicator, plan in own_variants:
+            if not _delta_relevant(delta_store, indicator):
+                continue
+            sources_staged = StagedSources(
+                store, delta_store, site, before=store, after=store, neg=store
+            )
+            for head in run_plan(plan, sources_staged):
+                if head in remaining:
+                    restore(head)
+    return rederived
+
+
+def dred_update(plans, store, delta, edb, edb_added, edb_removed, limits):
+    """Maintain a stratum by delete-rederive.
+
+    ``edb`` is the session's current assertion set (already updated for this
+    batch) — an over-deleted fact that is still asserted is rederived
+    unconditionally.
+    """
+    # --- over-delete, against the old state ---
+    overdeleted = _overdelete(plans, store, delta, edb_removed)
+    for atom in overdeleted:
+        store.remove(atom)
+
+    # --- rederive what survives in the new state ---
+    rederived = _rederive(plans, store, overdeleted, edb)
+    for atom in overdeleted:
+        if atom not in rederived:
+            delta.record_remove(atom)
+
+    # --- insert: seeds from the lower strata's changes, then semi-naive ---
+    new_facts = []
+
+    def try_add(head):
+        limits.check(head, store)
+        if store.add(head):
+            new_facts.append(head)
+
+    for atom in edb_added:
+        limits.check(atom, store)
+        if store.add(atom):
+            new_facts.append(atom)
+    for _rule, site, indicator, plan in plans.update_variants:
+        if _delta_relevant(delta.added, indicator):
+            sources = StagedSources(
+                store, delta.added, site, before=store, after=store, neg=store
+            )
+            for head in run_plan(plan, sources):
+                try_add(head)
+    for _rule, site, indicator, plan in plans.negation_variants:
+        # A negated subgoal that just became false enables new derivations.
+        if _delta_relevant(delta.removed, indicator):
+            sources = StagedSources(
+                store, delta.removed, site, before=store, after=store, neg=store
+            )
+            for head in run_plan(plan, sources):
+                try_add(head)
+
+    _iterations, propagated = evaluate_stratum(
+        plans.stratum, store,
+        max_facts=limits.max_facts, max_term_depth=limits.max_term_depth,
+        seed_delta=new_facts,
+    )
+    for atom in new_facts + propagated:
+        delta.record_add(atom)
+
+
+# ---------------------------------------------------------------------------
+# Stratum-local recomputation (aggregates, integrity fallback)
+# ---------------------------------------------------------------------------
+
+def materialize_counting_stratum(plans, store, limits):
+    """Evaluate a counting stratum from scratch, counting supports.
+
+    A non-recursive stratum's base pass sees every derivation exactly once,
+    so one pass over the base plans — with :meth:`add_support` instead of
+    set-semantics ``add`` — rebuilds exact support counts.  (The EDB
+    supports of the stratum's head predicates must already be in the store.)
+    """
+    sources = PlanSources(store)
+    for _rule, plan in plans.stratum.base_plans:
+        for head in run_plan(plan, sources):
+            limits.check(head, store)
+            store.add_support(head)
+
+
+def recompute_stratum(plans, store, delta, edb, limits):
+    """Throw the stratum's extension away and recompute it from the current
+    lower strata — correct for every supported stratum shape, used for
+    aggregate strata and as the fallback when an incremental step fails.
+
+    Counting strata are rebuilt with per-derivation support counts (a plain
+    set-semantics rebuild would reset every count to 1 and make later
+    retractions drop facts that still have other derivations)."""
+    if plans.head_indicators is None:
+        raise GroundingError(
+            "cannot locally recompute a stratum with non-ground head "
+            "predicate names"
+        )
+    old_facts = set()
+    for name, arity in plans.head_indicators:
+        old_facts.update(store.facts(name, arity))
+    for atom in old_facts:
+        store.remove(atom)
+    for atom in edb:
+        if predicate_indicator(atom) in plans.head_indicators:
+            store.add(atom)
+    if plans.strategy == COUNTING:
+        materialize_counting_stratum(plans, store, limits)
+    else:
+        evaluate_stratum(
+            plans.stratum, store,
+            max_facts=limits.max_facts, max_term_depth=limits.max_term_depth,
+        )
+    new_facts = set()
+    for name, arity in plans.head_indicators:
+        new_facts.update(store.facts(name, arity))
+    for atom in old_facts - new_facts:
+        delta.record_remove(atom)
+    for atom in new_facts - old_facts:
+        delta.record_add(atom)

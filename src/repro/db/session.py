@@ -1,0 +1,586 @@
+"""Stateful deductive-database sessions with incremental view maintenance.
+
+A :class:`DatabaseSession` holds a HiLog program (its rules) together with
+an extensional database of asserted facts, materializes the perfect model
+once through the semi-naive engine, and then keeps the model consistent
+under :meth:`~DatabaseSession.insert` / :meth:`~DatabaseSession.retract` /
+batched :meth:`~DatabaseSession.transaction` updates without recomputing it
+from scratch:
+
+* non-recursive positive strata are maintained by the **counting**
+  algorithm (support counts per fact; Gupta–Mumick–Subrahmanian,
+  SIGMOD'93),
+* recursive strata and strata with stratified negation by
+  **delete-rederive** (DRed),
+* aggregate strata by stratum-local recomputation, which is also the
+  fallback whenever an incremental step trips an integrity check.
+
+Programs outside the semi-naive engine's stratified class (recursion
+through negation inside a component, recursion through aggregation,
+variable predicate names mixed with negation) still get a session: updates
+fall back to whole-model recomputation through the Figure-1 procedure
+(``perfect_model_for_hilog``), so the session API is uniform across every
+program class the repository supports.
+
+One documented semantic divergence, inherited from the two evaluators:
+for an aggregate whose condition predicate is settled in a *lower*
+stratum, the engine's stratified semantics (incremental sessions,
+:func:`~repro.engine.seminaive.seminaive_evaluate`) folds over the full
+condition extension, while the Figure-1 ground path (recompute-mode
+sessions, ``perfect_model_for_hilog``) folds only over the condition
+atoms of the aggregate's own component — deriving nothing for settled
+conditions.  Each session mode is verified (:meth:`DatabaseSession.check`)
+against the evaluator it is built on; see
+:meth:`DatabaseSession.recompute_reference`.
+
+Queries are answered from the maintained store through
+:func:`repro.core.magic.evaluate.answer_from_store` (the session-backed
+path of ``magic_evaluate``) — a handful of index probes, no evaluation at
+all.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+from repro.core.magic.evaluate import answer_from_store
+from repro.core.modular import perfect_model_for_hilog
+from repro.db.maintenance import (
+    Delta,
+    _Limits,
+    counting_update,
+    dred_update,
+    materialize_counting_stratum,
+    recompute_stratum,
+)
+from repro.db.plans import COUNTING, DRED, RECOMPUTE, build_maintenance_plans
+from repro.engine.interpretation import Interpretation
+from repro.engine.seminaive.engine import (
+    SeminaiveUnsupported,
+    evaluate_stratum,
+    seminaive_evaluate,
+    stratify_program,
+)
+from repro.engine.seminaive.relation import RelationStore, predicate_indicator
+from repro.hilog.errors import GroundingError, HiLogError
+from repro.hilog.parser import parse_program, parse_query, parse_term
+from repro.hilog.program import Literal, Program, Rule
+from repro.hilog.terms import Term
+
+#: Session evaluation modes.
+INCREMENTAL = "incremental"
+RECOMPUTE_MODE = "recompute"
+
+
+class SessionIntegrityError(HiLogError):
+    """The maintained model diverged from the from-scratch model — an
+    incremental maintenance bug surfaced by :meth:`DatabaseSession.check`."""
+
+
+class UpdateSummary(NamedTuple):
+    """Net effect of one update batch on the session."""
+
+    #: Asserted facts that were not already in the EDB.
+    inserted: int
+    #: Retracted facts that were actually in the EDB.
+    retracted: int
+    #: Atoms that became true (EDB and derived; unordered).
+    added: Tuple[Term, ...]
+    #: Atoms that became false (unordered).
+    removed: Tuple[Term, ...]
+    #: Number of strata whose maintenance ran (0 for recompute mode).
+    strata_touched: int
+    #: ``"incremental"``, ``"recompute"`` or ``"rebuild"`` (disaster path).
+    mode: str
+
+
+class Transaction:
+    """A batch of staged inserts/retracts applied atomically on commit.
+
+    Usable as a context manager: a clean exit commits, an exception rolls
+    the staged operations back (the session is untouched either way until
+    commit).  Within one transaction the *last* operation on an atom wins.
+    """
+
+    def __init__(self, session):
+        self._session = session
+        self._ops = []
+        self._result = None
+
+    def insert(self, facts):
+        """Stage assertions."""
+        for atom in self._session._coerce_facts(facts):
+            self._ops.append(("insert", atom))
+        return self
+
+    def retract(self, facts):
+        """Stage retractions."""
+        for atom in self._session._coerce_facts(facts):
+            self._ops.append(("retract", atom))
+        return self
+
+    def commit(self):
+        """Apply the staged batch; returns the :class:`UpdateSummary`."""
+        final = {}
+        for action, atom in self._ops:
+            final[atom] = action
+        inserts = [atom for atom, action in final.items() if action == "insert"]
+        retracts = [atom for atom, action in final.items() if action == "retract"]
+        self._ops = []
+        self._result = self._session._apply(inserts, retracts)
+        return self._result
+
+    def rollback(self):
+        """Discard the staged operations."""
+        self._ops = []
+
+    @property
+    def result(self):
+        """The summary of the last commit (``None`` before commit)."""
+        return self._result
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb):
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+
+class DatabaseSession:
+    """A long-lived deductive database over one HiLog program.
+
+    Args:
+        program: a :class:`~repro.hilog.program.Program` or program text;
+            its facts seed the extensional database, its proper rules are
+            fixed for the session's lifetime.
+        strategy: ``"auto"`` (incremental maintenance when the program is
+            in the semi-naive engine's stratified class, whole-model
+            recomputation otherwise), ``"incremental"`` (raise
+            :class:`~repro.engine.seminaive.SeminaiveUnsupported` outside
+            the class) or ``"recompute"``.
+        max_facts / max_term_depth: the engine's resource caps.
+    """
+
+    def __init__(self, program, strategy="auto", max_facts=1000000,
+                 max_term_depth=None):
+        if strategy not in ("auto", INCREMENTAL, RECOMPUTE_MODE):
+            raise ValueError(
+                "unknown strategy %r (use 'auto', 'incremental' or 'recompute')"
+                % (strategy,)
+            )
+        if isinstance(program, str):
+            program = parse_program(program)
+        self._rules = Program(tuple(program.proper_rules()))
+        self._edb = set()
+        for rule in program.facts():
+            # Every evaluation path of the repository requires ground facts
+            # (cf. seminaive_evaluate and the Figure-1 grounding); reject
+            # them up front with a clear error rather than at first update.
+            if not rule.head.is_ground():
+                raise GroundingError("fact %r is not ground" % (rule.head,))
+            self._edb.add(rule.head)
+        self._limits = _Limits(max_facts, max_term_depth)
+
+        self._plans = None
+        self._owner = {}
+        self._unknown_stratum = None
+        self._mode = RECOMPUTE_MODE
+        if strategy in ("auto", INCREMENTAL):
+            try:
+                stratification = stratify_program(self._rules, by_component=True)
+                self._plans = [
+                    build_maintenance_plans(rules, stratification.recursive)
+                    for rules in stratification.strata
+                ]
+                for index, plans in enumerate(self._plans):
+                    if plans.head_indicators is None:
+                        if self._unknown_stratum is None:
+                            self._unknown_stratum = index
+                        continue
+                    for indicator in plans.head_indicators:
+                        self._owner[indicator] = index
+                self._mode = INCREMENTAL
+            except SeminaiveUnsupported:
+                if strategy == INCREMENTAL:
+                    raise
+                self._plans = None
+        self._stats = {
+            "updates": 0,
+            "counting_updates": 0,
+            "dred_updates": 0,
+            "recompute_updates": 0,
+            "stratum_fallbacks": 0,
+            "rebuilds": 0,
+            "recompute_mode_updates": 0,
+        }
+        self._version = 0
+        self._program_cache = None
+        self._store = None
+        self._materialize()
+
+    # -- materialization ----------------------------------------------------
+
+    def _full_program(self):
+        """The session's program with the current EDB as facts (cached per
+        version, for from-scratch recomputation and query fallbacks)."""
+        if self._program_cache is not None and self._program_cache[0] == self._version:
+            return self._program_cache[1]
+        facts = tuple(Rule(atom) for atom in sorted(self._edb, key=repr))
+        program = Program(self._rules.rules + facts)
+        self._program_cache = (self._version, program)
+        return program
+
+    def _materialize(self):
+        """(Re)compute the store — and the support counts of counting
+        strata — from the rules and the current EDB."""
+        if self._mode == INCREMENTAL:
+            store = RelationStore()
+            for atom in self._edb:
+                store.add_support(atom)
+            for plans in self._plans:
+                if plans.strategy == COUNTING:
+                    # Non-recursive stratum: a single base pass sees every
+                    # derivation exactly once — count them all.
+                    materialize_counting_stratum(plans, store, self._limits)
+                else:
+                    evaluate_stratum(
+                        plans.stratum, store,
+                        max_facts=self._limits.max_facts,
+                        max_term_depth=self._limits.max_term_depth,
+                    )
+        else:
+            model = perfect_model_for_hilog(
+                self._full_program(), strategy="seminaive",
+                max_atoms=self._limits.max_facts,
+            )
+            store = RelationStore(model.true)
+        self._store = store
+
+    # -- fact coercion ------------------------------------------------------
+
+    def _coerce_facts(self, facts):
+        """Normalize user input into a list of ground atoms.
+
+        Accepts a :class:`Term`, a fact :class:`Rule`, program text holding
+        only facts, or an iterable of any of those.
+        """
+        if isinstance(facts, str):
+            program = parse_program(facts if facts.rstrip().endswith(".") else facts + ".")
+            atoms = []
+            for rule in program.rules:
+                if not rule.is_fact():
+                    raise ValueError("updates must be facts, got rule %r" % (rule,))
+                atoms.append(rule.head)
+        elif isinstance(facts, Term):
+            atoms = [facts]
+        elif isinstance(facts, Rule):
+            if not facts.is_fact():
+                raise ValueError("updates must be facts, got rule %r" % (facts,))
+            atoms = [facts.head]
+        else:
+            atoms = []
+            for item in facts:
+                atoms.extend(self._coerce_facts(item))
+        for atom in atoms:
+            if not atom.is_ground():
+                raise GroundingError("cannot assert/retract non-ground %r" % (atom,))
+        return atoms
+
+    # -- updates ------------------------------------------------------------
+
+    def insert(self, facts):
+        """Assert facts; maintain the model.  Returns an :class:`UpdateSummary`."""
+        return self._apply(self._coerce_facts(facts), [])
+
+    def retract(self, facts):
+        """Retract facts; maintain the model.  Returns an :class:`UpdateSummary`."""
+        return self._apply([], self._coerce_facts(facts))
+
+    def update(self, inserts=(), retracts=()):
+        """Apply assertions and retractions as one batch."""
+        return self._apply(self._coerce_facts(inserts), self._coerce_facts(retracts))
+
+    def transaction(self):
+        """A :class:`Transaction` staging updates for one atomic commit."""
+        return Transaction(self)
+
+    def _owning_stratum(self, atom):
+        """The stratum index defining the atom's predicate, or ``None`` for
+        purely extensional predicates."""
+        indicator = predicate_indicator(atom)
+        owner = self._owner.get(indicator)
+        if owner is not None:
+            return owner
+        return self._unknown_stratum
+
+    def _apply(self, inserts, retracts):
+        overlap = set(inserts) & set(retracts)
+        if overlap:
+            raise ValueError(
+                "atoms both inserted and retracted in one batch: %s"
+                % sorted(map(repr, overlap))
+            )
+        ins = [atom for atom in dict.fromkeys(inserts) if atom not in self._edb]
+        rem = [atom for atom in dict.fromkeys(retracts) if atom in self._edb]
+        self._edb.update(ins)
+        self._edb.difference_update(rem)
+        self._version += 1
+        self._stats["updates"] += 1
+
+        if self._mode == RECOMPUTE_MODE:
+            return self._apply_by_recompute(ins, rem)
+
+        delta = Delta()
+        base_ins, base_rem = [], []
+        stratum_ins, stratum_rem = {}, {}
+        for atom in ins:
+            owner = self._owning_stratum(atom)
+            if owner is None:
+                base_ins.append(atom)
+            else:
+                stratum_ins.setdefault(owner, []).append(atom)
+        for atom in rem:
+            owner = self._owning_stratum(atom)
+            if owner is None:
+                base_rem.append(atom)
+            else:
+                stratum_rem.setdefault(owner, []).append(atom)
+
+        try:
+            for atom in base_ins:
+                self._limits.check(atom, self._store)
+                if self._store.add_support(atom):
+                    delta.record_add(atom)
+            for atom in base_rem:
+                if self._store.remove_support(atom):
+                    delta.record_remove(atom)
+
+            touched = 0
+            for index, plans in enumerate(self._plans):
+                edb_added = stratum_ins.get(index, [])
+                edb_removed = stratum_rem.get(index, [])
+                if not edb_added and not edb_removed and not delta.touches(plans.reads):
+                    continue
+                touched += 1
+                self._maintain_stratum(plans, delta, edb_added, edb_removed)
+        except HiLogError as error:
+            # Disaster path: the incremental machinery failed mid-update
+            # (resource cap, integrity check) and may have left the store
+            # half-mutated.  Rebuild the *pre-update* model first so the
+            # summary can report an accurate diff, then rebuild with the
+            # new EDB; if the latter fails (the update itself is
+            # unevaluable, e.g. it blows the fact cap), stay at the
+            # pre-update state and surface the failure.
+            self._stats["rebuilds"] += 1
+            self._edb.difference_update(ins)
+            self._edb.update(rem)
+            self._version += 1
+            self._materialize()
+            old_true = frozenset(self._store)
+            self._edb.update(ins)
+            self._edb.difference_update(rem)
+            self._version += 1
+            try:
+                self._materialize()
+            except HiLogError:
+                self._edb.difference_update(ins)
+                self._edb.update(rem)
+                self._version += 1
+                self._materialize()
+                raise error
+            new_true = frozenset(self._store)
+            return UpdateSummary(
+                inserted=len(ins),
+                retracted=len(rem),
+                added=tuple(new_true - old_true),
+                removed=tuple(old_true - new_true),
+                strata_touched=0,
+                mode="rebuild",
+            )
+
+        return UpdateSummary(
+            inserted=len(ins),
+            retracted=len(rem),
+            added=tuple(delta.added),
+            removed=tuple(delta.removed),
+            strata_touched=touched,
+            mode=INCREMENTAL,
+        )
+
+    def _maintain_stratum(self, plans, delta, edb_added, edb_removed):
+        try:
+            if plans.strategy == COUNTING:
+                counting_update(
+                    plans, self._store, delta, edb_added, edb_removed, self._limits
+                )
+                self._stats["counting_updates"] += 1
+            elif plans.strategy == DRED:
+                dred_update(
+                    plans, self._store, delta, self._edb, edb_added, edb_removed,
+                    self._limits,
+                )
+                self._stats["dred_updates"] += 1
+            else:
+                recompute_stratum(plans, self._store, delta, self._edb, self._limits)
+                self._stats["recompute_updates"] += 1
+        except HiLogError:
+            if plans.strategy == RECOMPUTE or plans.head_indicators is None:
+                raise
+            # A delta invalidated the settled stratum in a way the
+            # incremental step could not absorb: recompute just this stratum.
+            self._stats["stratum_fallbacks"] += 1
+            recompute_stratum(plans, self._store, delta, self._edb, self._limits)
+
+    def _apply_by_recompute(self, ins, rem):
+        old_true = frozenset(self._store)
+        self._stats["recompute_mode_updates"] += 1
+        try:
+            self._materialize()
+        except HiLogError:
+            # Roll the EDB change back; the update made the program
+            # unevaluable (e.g. no longer modularly stratified).
+            self._edb.difference_update(ins)
+            self._edb.update(rem)
+            self._version += 1
+            raise
+        new_true = frozenset(self._store)
+        return UpdateSummary(
+            inserted=len(ins),
+            retracted=len(rem),
+            added=tuple(new_true - old_true),
+            removed=tuple(old_true - new_true),
+            strata_touched=0,
+            mode=RECOMPUTE_MODE,
+        )
+
+    # -- reads --------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._store)
+
+    def __contains__(self, atom):
+        return atom in self._store
+
+    def ask(self, atom):
+        """Truth value of a ground atom in the maintained (total) model."""
+        if isinstance(atom, str):
+            atom = parse_term(atom)
+        if not atom.is_ground():
+            raise GroundingError("ask() needs a ground atom, got %r" % (atom,))
+        return atom in self._store
+
+    def query(self, query):
+        """Answer a query against the maintained model.
+
+        Every query is answered straight from the store's indexes (the
+        session-backed path of
+        :func:`repro.core.magic.evaluate.answer_from_store`): the session
+        maintains the *total* model, so the evaluating paths' answer
+        contract — the true ground instances of the first query atom —
+        reduces to an indexed match, whatever the query's shape.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, Term):
+            query = (Literal(query),)
+        else:
+            query = tuple(query)
+        if not query:
+            raise ValueError("empty query")
+        return answer_from_store(self._store, query).answers
+
+    @property
+    def true(self):
+        """The maintained model's true atoms (a fresh frozenset, O(n))."""
+        return frozenset(self._store)
+
+    def model(self):
+        """The maintained perfect model as a total :class:`Interpretation`."""
+        true = frozenset(self._store)
+        return Interpretation(true=true, base=true)
+
+    def facts(self, name, arity):
+        """The maintained extension of one predicate indicator."""
+        if isinstance(name, str):
+            name = parse_term(name)
+        return tuple(self._store.facts(name, arity))
+
+    def edb(self):
+        """The current extensional database (asserted facts)."""
+        return frozenset(self._edb)
+
+    @property
+    def mode(self):
+        """``"incremental"`` or ``"recompute"``."""
+        return self._mode
+
+    @property
+    def store(self):
+        """The backing relation store (treat as read-only)."""
+        return self._store
+
+    def strategies(self):
+        """Maintenance strategy per stratum (empty in recompute mode)."""
+        if self._plans is None:
+            return ()
+        return tuple(plans.strategy for plans in self._plans)
+
+    def stats(self):
+        """Counters and sizes describing the session so far."""
+        info = dict(self._stats)
+        info.update(
+            mode=self._mode,
+            facts=len(self._store),
+            edb_facts=len(self._edb),
+            strata=len(self._plans) if self._plans is not None else 0,
+            strategies=self.strategies(),
+            store=self._store.stats(),
+        )
+        return info
+
+    def recompute_reference(self):
+        """The from-scratch model the session's mode is accountable to.
+
+        Incremental sessions replay :func:`~repro.engine.seminaive.seminaive_evaluate`
+        (stratum-by-stratum semantics, aggregates folding over the full
+        condition extension); recompute sessions replay the Figure-1
+        procedure they are built on.  Returns a frozenset of true atoms.
+        """
+        if self._mode == INCREMENTAL:
+            return seminaive_evaluate(
+                self._rules, extra_facts=sorted(self._edb, key=repr),
+                max_facts=self._limits.max_facts,
+                max_term_depth=self._limits.max_term_depth,
+            ).true
+        return perfect_model_for_hilog(
+            self._full_program(), strategy="seminaive",
+            max_atoms=self._limits.max_facts,
+        ).true
+
+    def check(self):
+        """Verify the maintained model against a from-scratch recomputation
+        (:meth:`recompute_reference`).
+
+        Returns ``True`` on agreement; raises :class:`SessionIntegrityError`
+        with sample differences otherwise.  Intended for tests, benchmarks
+        and paranoid deployments — it costs a full evaluation.
+        """
+        scratch = self.recompute_reference()
+        maintained = frozenset(self._store)
+        if maintained == scratch:
+            return True
+        missing = sorted(map(repr, scratch - maintained))[:5]
+        spurious = sorted(map(repr, maintained - scratch))[:5]
+        raise SessionIntegrityError(
+            "maintained model diverged from recomputation: missing %s, "
+            "spurious %s" % (missing, spurious)
+        )
+
+
+def open_session(program, **kwargs):
+    """Convenience constructor: ``open_session(text_or_program, ...)``."""
+    return DatabaseSession(program, **kwargs)

@@ -13,9 +13,11 @@ and the HiLog semantics of the paper:
 * stable models as two-valued fixpoints of ``W_P`` (Definition 3.6),
 * arithmetic/comparison builtins and aggregate subgoals,
 * the semi-naive evaluation subsystem (:mod:`repro.engine.seminaive`):
-  indexed relation stores, SIPS-ordered join plans and a delta-driven
-  stratum-by-stratum fixpoint that evaluates range-restricted programs
-  without materializing a ground program.
+  indexed relation stores (with deletion and support counts), SIPS-ordered
+  join plans and a delta-driven stratum-by-stratum fixpoint that evaluates
+  range-restricted programs without materializing a ground program and can
+  resume a settled stratum from an injected delta — the primitive the
+  incremental session layer (:mod:`repro.db`) maintains models with.
 """
 
 from repro.engine.interpretation import (
@@ -43,11 +45,18 @@ from repro.engine.stable import stable_models, is_stable_model
 from repro.engine.builtins import evaluate_ground_builtin, is_arithmetic_term, solve_builtin
 from repro.engine.aggregates import evaluate_aggregate
 from repro.engine.seminaive import (
+    PlanSources,
     RelationStore,
     SeminaiveResult,
     SeminaiveUnsupported,
+    Stratification,
+    StratumPlan,
+    compile_stratum,
+    evaluate_stratum,
+    run_plan,
     seminaive_evaluate,
     seminaive_perfect_model,
+    stratify_program,
 )
 
 __all__ = [
@@ -73,9 +82,16 @@ __all__ = [
     "evaluate_ground_builtin",
     "is_arithmetic_term",
     "evaluate_aggregate",
+    "PlanSources",
     "RelationStore",
     "SeminaiveResult",
     "SeminaiveUnsupported",
+    "Stratification",
+    "StratumPlan",
+    "compile_stratum",
+    "evaluate_stratum",
+    "run_plan",
     "seminaive_evaluate",
     "seminaive_perfect_model",
+    "stratify_program",
 ]

@@ -17,19 +17,37 @@ or, at the API surface the paper experiments use,
 """
 
 from repro.engine.seminaive.engine import (
+    PlanSources,
     SeminaiveResult,
     SeminaiveUnsupported,
+    Stratification,
+    StratumPlan,
+    check_derived_atom,
+    compile_stratum,
+    evaluate_stratum,
+    plan_satisfiable,
+    run_plan,
     seminaive_evaluate,
     seminaive_perfect_model,
+    stratify_program,
 )
 from repro.engine.seminaive.plan import JoinPlan, JoinStep, PlanError, compile_rule
 from repro.engine.seminaive.relation import Relation, RelationStore, predicate_indicator
 
 __all__ = [
+    "PlanSources",
     "SeminaiveResult",
     "SeminaiveUnsupported",
+    "Stratification",
+    "StratumPlan",
+    "check_derived_atom",
+    "compile_stratum",
+    "evaluate_stratum",
+    "plan_satisfiable",
+    "run_plan",
     "seminaive_evaluate",
     "seminaive_perfect_model",
+    "stratify_program",
     "JoinPlan",
     "JoinStep",
     "PlanError",

@@ -28,11 +28,21 @@ negation (Example 6.3's parameterized games), recursion through aggregation
 (the parts-explosion component) — raise :class:`SeminaiveUnsupported`;
 callers such as :func:`repro.core.modular.modularly_stratified_for_hilog`
 catch it and fall back to the grounding oracle.
+
+Beyond one-shot evaluation the module exposes the pieces an *incremental*
+view-maintenance layer (:mod:`repro.db`) composes: :func:`stratify_program`
+(optionally one stratum per strongly connected component),
+:func:`compile_stratum` (the base and delta join plans of a stratum),
+:func:`evaluate_stratum` with an *injected delta* (re-run a settled stratum
+semi-naively from a batch of newly arrived facts), and :class:`PlanSources`
+(a pluggable resolver from join steps to fact sources, so maintenance
+algorithms can stage "old"/"new"/"delta" database states per body
+position).
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, NamedTuple, Tuple
+from typing import Dict, FrozenSet, NamedTuple, Optional, Tuple
 
 from repro.engine.aggregates import evaluate_aggregate
 from repro.engine.builtins import solve_builtin
@@ -68,6 +78,20 @@ class SeminaiveResult(NamedTuple):
     store: RelationStore
 
 
+class Stratification(NamedTuple):
+    """A stratum assignment of a program's proper rules.
+
+    ``strata`` lists the rules of each stratum in ascending level order;
+    ``recursive`` maps each rule to the set of body indicators evaluated in
+    the same stratum (the delta-variant sites), or ``None`` for the definite
+    single-stratum case where every positive subgoal is potentially
+    recursive.
+    """
+
+    strata: Tuple[Tuple, ...]
+    recursive: Dict
+
+
 _EMPTY = Substitution()
 
 
@@ -82,23 +106,23 @@ def _literal_indicator(atom):
     return (atom, -1)
 
 
-def _stratify(program):
-    """Assign each proper rule to a stratum.
+def _single_stratum(proper):
+    """Definite program: one stratum, every positive subgoal is potentially
+    recursive (names may be non-ground, so the dependency graph cannot be
+    trusted to separate anything)."""
+    return Stratification((tuple(proper),), {rule: None for rule in proper})
 
-    Returns ``(strata, recursive)`` where ``strata`` is a list of rule lists
-    in ascending level order and ``recursive`` maps a rule to the set of
-    body indicators evaluated in the same stratum (the delta-variant sites).
-    Raises :class:`SeminaiveUnsupported` when the program is not stratified
-    at the predicate-indicator level.
+
+def _graph_stratification(program, proper, by_component):
+    """Stratify via the predicate-indicator dependency graph.
+
+    Raises :class:`SeminaiveUnsupported` when an indicator is non-ground or
+    a cycle runs through negation/aggregation.  With ``by_component`` every
+    strongly connected component becomes its own stratum (the finest valid
+    assignment, used by incremental maintenance so non-recursive components
+    can be maintained by counting); otherwise levels are bumped only across
+    negative/aggregate edges, as the one-shot evaluator prefers.
     """
-    proper = [rule for rule in program.rules if not rule.is_fact()]
-
-    if not program.has_negation() and not program.has_aggregates():
-        # Definite program: one stratum, every positive subgoal is
-        # potentially recursive (names may be non-ground, so the dependency
-        # graph cannot be trusted to separate anything).
-        return [proper], {rule: None for rule in proper}
-
     graph = DependencyGraph()
     head_indicators = {}
     body_indicators = {}
@@ -120,7 +144,7 @@ def _stratify(program):
             if indicator is None:
                 raise SeminaiveUnsupported(
                     "subgoal %r of rule %r has a non-ground predicate name in "
-                    "a program with negation/aggregation" % (literal.atom, rule)
+                    "a stratified program" % (literal.atom, rule)
                 )
             indicators.append(indicator)
             graph.add_edge(head, indicator, negative=literal.negative)
@@ -149,19 +173,23 @@ def _stratify(program):
                 "not stratified" % (source,)
             )
 
-    # Components arrive in reverse topological order (dependencies first),
-    # so one pass assigns levels: +1 across negative/aggregate edges.
-    level_of_component = {}
-    for index, component in enumerate(components):
-        level = 0
-        for node in component:
-            for successor in graph.successors(node):
-                target = component_of[successor]
-                if target == index:
-                    continue
-                bump = 1 if graph.is_negative_edge(node, successor) else 0
-                level = max(level, level_of_component[target] + bump)
-        level_of_component[index] = level
+    # Components arrive in reverse topological order (dependencies first).
+    if by_component:
+        # One stratum per SCC: the arrival index is already a valid level.
+        level_of_component = {index: index for index in range(len(components))}
+    else:
+        # One pass assigns levels: +1 across negative/aggregate edges.
+        level_of_component = {}
+        for index, component in enumerate(components):
+            level = 0
+            for node in component:
+                for successor in graph.successors(node):
+                    target = component_of[successor]
+                    if target == index:
+                        continue
+                    bump = 1 if graph.is_negative_edge(node, successor) else 0
+                    level = max(level, level_of_component[target] + bump)
+            level_of_component[index] = level
 
     def indicator_level(indicator):
         return level_of_component[component_of[indicator]]
@@ -177,8 +205,32 @@ def _stratify(program):
                 same_level.add(indicator)
         recursive[rule] = same_level
 
-    strata = [by_level[level] for level in sorted(by_level)]
-    return strata, recursive
+    strata = tuple(tuple(by_level[level]) for level in sorted(by_level))
+    return Stratification(strata, recursive)
+
+
+def stratify_program(program, by_component=False):
+    """Assign each proper rule of ``program`` to a stratum.
+
+    Returns a :class:`Stratification`.  Definite programs normally form a
+    single stratum; with ``by_component=True`` the graph-based assignment is
+    attempted first even for definite programs (falling back to the single
+    stratum when predicate names are non-ground), so callers that maintain
+    models incrementally get the finest stratification available.  Raises
+    :class:`SeminaiveUnsupported` when the program mixes negation or
+    aggregation with non-ground predicate names, or is not stratified at the
+    predicate-indicator level.
+    """
+    proper = [rule for rule in program.rules if not rule.is_fact()]
+    definite = not program.has_negation() and not program.has_aggregates()
+    if definite:
+        if by_component:
+            try:
+                return _graph_stratification(program, proper, by_component=True)
+            except SeminaiveUnsupported:
+                return _single_stratum(proper)
+        return _single_stratum(proper)
+    return _graph_stratification(program, proper, by_component)
 
 
 def _delta_sites(rule, recursive_indicators):
@@ -196,18 +248,46 @@ def _delta_sites(rule, recursive_indicators):
     return sites
 
 
-def _run_steps(plan, store, delta_store, position, subst):
+class PlanSources:
+    """Resolves join-plan steps to fact sources.
+
+    The default implementation reads fetches from ``store`` (or the
+    per-iteration ``delta`` store for delta-marked steps) and answers
+    negation checks against ``store``.  Maintenance algorithms subclass this
+    to stage different database states (old / new / delta) per body
+    position — see :mod:`repro.db.maintenance`.
+    """
+
+    __slots__ = ("store", "delta")
+
+    def __init__(self, store, delta=None):
+        self.store = store
+        self.delta = delta
+
+    def candidates(self, step, subst):
+        source = self.delta if step.from_delta else self.store
+        return source.candidates(step.literal.atom, subst, step.index_positions)
+
+    def holds(self, atom):
+        """Membership test used by negation steps."""
+        return atom in self.store
+
+    def aggregate_extension(self, name, arity):
+        """The extension an aggregate condition folds over."""
+        return self.store.facts(name, arity)
+
+
+def _run_steps(plan, sources, position, subst):
     """Yield every substitution satisfying the plan's steps from ``position``."""
     if position == len(plan.steps):
         yield subst
         return
     step = plan.steps[position]
     if step.kind == FETCH:
-        source = delta_store if step.from_delta else store
-        for fact in source.candidates(step.literal.atom, subst, step.index_positions):
+        for fact in sources.candidates(step, subst):
             extended = match(step.literal.atom, fact, subst)
             if extended is not None:
-                yield from _run_steps(plan, store, delta_store, position + 1, extended)
+                yield from _run_steps(plan, sources, position + 1, extended)
         return
     if step.kind == NEGATION:
         atom = subst.apply(step.literal.atom)
@@ -216,17 +296,18 @@ def _run_steps(plan, store, delta_store, position, subst):
                 "negative subgoal %r not ground at evaluation time (rule %r "
                 "flounders)" % (atom, plan.rule)
             )
-        if atom not in store:
-            yield from _run_steps(plan, store, delta_store, position + 1, subst)
+        if not sources.holds(atom):
+            yield from _run_steps(plan, sources, position + 1, subst)
         return
     # BUILTIN: the planner only schedules builtins once they are evaluable.
     for solution in solve_builtin(step.literal.atom, subst):
-        yield from _run_steps(plan, store, delta_store, position + 1, solution)
+        yield from _run_steps(plan, sources, position + 1, solution)
 
 
-def _derive(plan, store, delta_store):
-    """Yield the ground heads derivable from ``plan`` against the store."""
-    for subst in _run_steps(plan, store, delta_store, 0, _EMPTY):
+def _body_solutions(plan, sources, initial):
+    """Yield the complete body solutions of ``plan`` (deferred builtins
+    applied, aggregates not yet folded)."""
+    for subst in _run_steps(plan, sources, 0, initial):
         currents = [subst]
         for literal in plan.deferred_builtins:
             nexts = []
@@ -235,31 +316,96 @@ def _derive(plan, store, delta_store):
             currents = nexts
             if not currents:
                 break
-        for current in currents:
-            finals = [current]
-            for astep in plan.aggregates:
-                extension = store.facts(astep.condition_name, astep.condition_arity)
-                nexts = []
-                for candidate in finals:
-                    nexts.extend(
-                        evaluate_aggregate(
-                            astep.spec, candidate, extension, group_vars=astep.group_vars
-                        )
-                    )
-                finals = nexts
-                if not finals:
-                    break
-            for final in finals:
-                head = final.apply(plan.rule.head)
-                if not head.is_ground():
-                    raise GroundingError(
-                        "derived head %r is not ground; rule %r is not range "
-                        "restricted" % (head, plan.rule)
-                    )
-                yield head
+        yield from currents
 
 
-def _check_head(head, max_facts, max_term_depth, store):
+def run_plan(plan, sources, initial=None):
+    """Yield the ground heads derivable from ``plan`` against ``sources``.
+
+    ``initial`` seeds the substitution (used by rederivation plans whose
+    head was matched against a concrete fact before the body joins run).
+    """
+    initial = _EMPTY if initial is None else initial
+    for current in _body_solutions(plan, sources, initial):
+        finals = [current]
+        for astep in plan.aggregates:
+            extension = sources.aggregate_extension(
+                astep.condition_name, astep.condition_arity
+            )
+            nexts = []
+            for candidate in finals:
+                nexts.extend(
+                    evaluate_aggregate(
+                        astep.spec, candidate, extension, group_vars=astep.group_vars
+                    )
+                )
+            finals = nexts
+            if not finals:
+                break
+        for final in finals:
+            head = final.apply(plan.rule.head)
+            if not head.is_ground():
+                raise GroundingError(
+                    "derived head %r is not ground; rule %r is not range "
+                    "restricted" % (head, plan.rule)
+                )
+            yield head
+
+
+def plan_satisfiable(plan, sources, initial=None):
+    """``True`` when the plan's body (builtins included, aggregates ignored)
+    has at least one solution.  Used by delete-rederive maintenance to test
+    whether an over-deleted fact has an alternative derivation.
+
+    Implemented as an explicit depth-first search (no generator nesting) —
+    this runs once per over-deleted fact, so constant factors matter.
+    """
+    initial = _EMPTY if initial is None else initial
+    if plan.deferred_builtins:
+        for _solution in _body_solutions(plan, sources, initial):
+            return True
+        return False
+
+    steps = plan.steps
+    depth = len(steps)
+    if depth == 0:
+        return True
+    stack = [(0, initial)]
+    while stack:
+        position, subst = stack.pop()
+        step = steps[position]
+        if step.kind == FETCH:
+            pattern = step.literal.atom
+            for fact in sources.candidates(step, subst):
+                extended = match(pattern, fact, subst)
+                if extended is None:
+                    continue
+                if position + 1 == depth:
+                    return True
+                stack.append((position + 1, extended))
+            continue
+        if step.kind == NEGATION:
+            atom = subst.apply(step.literal.atom)
+            if not atom.is_ground():
+                raise GroundingError(
+                    "negative subgoal %r not ground at evaluation time (rule "
+                    "%r flounders)" % (atom, plan.rule)
+                )
+            if sources.holds(atom):
+                continue
+            if position + 1 == depth:
+                return True
+            stack.append((position + 1, subst))
+            continue
+        for solution in solve_builtin(step.literal.atom, subst):
+            if position + 1 == depth:
+                return True
+            stack.append((position + 1, solution))
+    return False
+
+
+def check_derived_atom(head, store, max_facts, max_term_depth):
+    """Enforce the resource caps on a freshly derived atom."""
     if max_term_depth is not None and head.depth() > max_term_depth:
         raise GroundingError(
             "derived atom %r exceeds term depth %d; the program is probably "
@@ -272,36 +418,124 @@ def _check_head(head, max_facts, max_term_depth, store):
         )
 
 
-def _evaluate_stratum(rules, recursive, store, max_facts, max_term_depth):
-    """Run the semi-naive fixpoint of one stratum.  Returns the iteration
-    count; new facts go straight into ``store``."""
+class StratumPlan(NamedTuple):
+    """The compiled evaluation plans of one stratum."""
+
+    #: The stratum's rules (in program order).
+    rules: Tuple
+    #: rule -> same-stratum body indicators (``None``: definite fallback).
+    recursive: Dict
+    #: ``(rule, plan)`` pairs for the initial (non-delta) pass.
+    base_plans: Tuple
+    #: ``(rule, site, plan)`` delta variants, one per recursive body site.
+    variant_plans: Tuple
+    #: Indicators of the stratum's head predicates, or ``None`` when some
+    #: head predicate name is non-ground (the definite higher-order case).
+    head_indicators: Optional[FrozenSet]
+    #: Indicators read by bodies/aggregates, or ``None`` when unknowable.
+    reads: Optional[FrozenSet]
+    has_negation: bool
+    has_aggregates: bool
+    #: Whether some rule reads a same-stratum predicate.
+    is_recursive: bool
+
+
+def compile_stratum(rules, recursive):
+    """Compile one stratum's rules into a :class:`StratumPlan`.
+
+    ``recursive`` is the per-rule same-stratum indicator map produced by
+    :func:`stratify_program` (``{rule: None}`` entries for the definite
+    fallback).  Raises :class:`SeminaiveUnsupported` when a rule body cannot
+    be ordered into a safe join plan.
+    """
     try:
-        base_plans = [(rule, compile_rule(rule)) for rule in rules]
+        base_plans = tuple((rule, compile_rule(rule)) for rule in rules)
         variant_plans = []
         for rule in rules:
             for site in _delta_sites(rule, recursive[rule]):
-                variant_plans.append((rule, compile_rule(rule, delta_index=site)))
+                variant_plans.append((rule, site, compile_rule(rule, delta_index=site)))
     except PlanError as error:
         raise SeminaiveUnsupported(str(error))
 
-    delta = []
-    for _rule, plan in base_plans:
-        for head in _derive(plan, store, None):
-            _check_head(head, max_facts, max_term_depth, store)
-            if store.add(head):
-                delta.append(head)
+    head_indicators = set()
+    reads = set()
+    for rule in rules:
+        head = _literal_indicator(rule.head)
+        if head is None:
+            head_indicators = None
+        elif head_indicators is not None:
+            head_indicators.add(head)
+        for literal in rule.body:
+            if literal.is_builtin():
+                continue
+            indicator = _literal_indicator(literal.atom)
+            if indicator is None:
+                reads = None
+            elif reads is not None:
+                reads.add(indicator)
+        for spec in rule.aggregates:
+            indicator = _literal_indicator(spec.condition)
+            if indicator is None:
+                reads = None
+            elif reads is not None:
+                reads.add(indicator)
 
-    iterations = 1
+    return StratumPlan(
+        rules=tuple(rules),
+        recursive=dict(recursive),
+        base_plans=base_plans,
+        variant_plans=tuple(variant_plans),
+        head_indicators=frozenset(head_indicators) if head_indicators is not None else None,
+        reads=frozenset(reads) if reads is not None else None,
+        has_negation=any(rule.negative_literals() for rule in rules),
+        has_aggregates=any(rule.aggregates for rule in rules),
+        is_recursive=bool(variant_plans),
+    )
+
+
+def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
+                     seed_delta=None):
+    """Run the semi-naive fixpoint of one stratum against ``store``.
+
+    Without ``seed_delta`` this is the full evaluation: one base pass over
+    every rule, then delta iterations until quiescence.  With ``seed_delta``
+    — an iterable of facts the caller just added to the store, read at the
+    stratum's delta sites (its own recursive predicates) — the base pass is
+    skipped and the fixpoint resumes from the injected delta; this is the
+    re-evaluation primitive incremental insertion maintenance is built on.
+    Facts of *lower*-stratum predicates do not propagate through this
+    entry point: anchor them with per-site update variants first (as
+    :func:`repro.db.maintenance.dred_update` does) and inject the heads.
+
+    Returns ``(iterations, added)`` where ``added`` lists the facts newly
+    added to the store (excluding the seeds themselves).
+    """
+    added = []
+    if seed_delta is None:
+        iterations = 1
+        sources = PlanSources(store)
+        for _rule, plan in stratum.base_plans:
+            for head in run_plan(plan, sources):
+                check_derived_atom(head, store, max_facts, max_term_depth)
+                if store.add(head):
+                    added.append(head)
+        delta = list(added)
+    else:
+        iterations = 0
+        delta = list(seed_delta)
+
     while delta:
         iterations += 1
         delta_store = RelationStore(delta)
         delta = []
-        for _rule, plan in variant_plans:
-            for head in _derive(plan, store, delta_store):
-                _check_head(head, max_facts, max_term_depth, store)
+        sources = PlanSources(store, delta_store)
+        for _rule, _site, plan in stratum.variant_plans:
+            for head in run_plan(plan, sources):
+                check_derived_atom(head, store, max_facts, max_term_depth)
                 if store.add(head):
                     delta.append(head)
-    return iterations
+                    added.append(head)
+    return iterations, added
 
 
 def seminaive_evaluate(program, extra_facts=(), max_facts=1000000, max_term_depth=None):
@@ -318,7 +552,7 @@ def seminaive_evaluate(program, extra_facts=(), max_facts=1000000, max_term_dept
     class and :class:`GroundingError` for unsafe (non-range-restricted)
     rules, mirroring the grounding path's behaviour.
     """
-    strata, recursive = _stratify(program)
+    stratification = stratify_program(program)
 
     store = RelationStore()
     seeds = set()
@@ -336,8 +570,12 @@ def seminaive_evaluate(program, extra_facts=(), max_facts=1000000, max_term_dept
 
     iterations = 0
     strata_names = []
-    for rules in strata:
-        iterations += _evaluate_stratum(rules, recursive, store, max_facts, max_term_depth)
+    for rules in stratification.strata:
+        stratum = compile_stratum(rules, stratification.recursive)
+        stratum_iterations, _added = evaluate_stratum(
+            stratum, store, max_facts=max_facts, max_term_depth=max_term_depth
+        )
+        iterations += stratum_iterations
         strata_names.append(frozenset(predicate_name(rule.head) for rule in rules))
 
     true = frozenset(store)

@@ -107,16 +107,18 @@ def _positive_schedulable(literal, bound):
     return True
 
 
-def _order_body(rule, delta_index):
+def _order_body(rule, delta_index, initially_bound=frozenset()):
     """Greedy safe ordering of the rule body.
 
     Returns ``(ordered, deferred_builtins)`` where ``ordered`` is a list of
     ``(body_index, literal)`` pairs.  Raises :class:`PlanError` when a
     negative or unbound-name subgoal can never be scheduled.
+    ``initially_bound`` names variables guaranteed bound before the body
+    runs (head variables, for plans evaluated against a ground head).
     """
     remaining = [(i, lit) for i, lit in enumerate(rule.body)]
     ordered = []
-    bound = set()
+    bound = set(initially_bound)
 
     def bind(literal):
         # Reuse the SIPS binding rule: positives bind their variables,
@@ -191,21 +193,24 @@ def _order_body(rule, delta_index):
     return ordered, tuple(deferred)
 
 
-def compile_rule(rule, delta_index=None):
+def compile_rule(rule, delta_index=None, bound=frozenset()):
     """Compile ``rule`` into a :class:`JoinPlan`.
 
     ``delta_index`` (a body position of a positive non-builtin literal)
     produces the semi-naive delta variant in which that literal is read from
-    the delta relation and scheduled first.
+    the delta relation and scheduled first.  ``bound`` names head variables
+    that will already be bound when the plan runs (the rederivation plans of
+    incremental maintenance match the head against a concrete fact first, so
+    every head variable is ground before the body joins start).
     """
-    ordered, deferred = _order_body(rule, delta_index)
+    ordered, deferred = _order_body(rule, delta_index, initially_bound=bound)
 
     # Annotate the reordered body with the SIPS machinery: bound-before sets
     # drive index selection, and the flounder flags double-check negation
     # safety (the delta-first step is exempt — a delta scan needs no
     # bindings).
     reordered = Rule(rule.head, tuple(lit for _i, lit in ordered), rule.aggregates)
-    sips_steps = left_to_right_sips(reordered, frozenset())
+    sips_steps = left_to_right_sips(reordered, frozenset(bound))
 
     steps = []
     for position, ((body_index, literal), sip) in enumerate(zip(ordered, sips_steps)):

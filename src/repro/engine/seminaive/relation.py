@@ -8,13 +8,26 @@ indicator is an arbitrary ground term; atoms that are not applications
 (propositional symbols) use arity ``-1`` so that ``p`` and the zero-ary
 application ``p()`` stay distinct (footnote 1 of the paper).
 
-Each :class:`Relation` keeps its facts in insertion order together with
-on-demand hash indexes keyed by subsets of argument positions: the first
-lookup that binds positions ``(0, 2)`` builds a dictionary from the values
-at those positions to the matching facts, and subsequent insertions keep
-every existing index current.  This is what makes semi-naive joins run in
-time proportional to the number of matching facts instead of the size of
-the relation.
+Each :class:`Relation` keeps its facts in an insertion-ordered set together
+with on-demand hash indexes keyed by subsets of argument positions: the
+first lookup that binds positions ``(0, 2)`` builds a dictionary from the
+values at those positions to the matching facts, and subsequent insertions
+and removals keep every existing index current.  This is what makes
+semi-naive joins run in time proportional to the number of matching facts
+instead of the size of the relation.
+
+The store additionally supports the operations an *incremental* deductive
+database (:mod:`repro.db`) needs on top of monotone insertion:
+
+* :meth:`RelationStore.remove` — delete a fact, maintaining every index
+  (used by delete-rederive maintenance);
+* *support counts* — :meth:`RelationStore.add_support` /
+  :meth:`RelationStore.remove_support` track how many derivations support
+  each fact, the bookkeeping of the counting algorithm for non-recursive
+  views (Gupta, Mumick & Subrahmanian, SIGMOD'93).  A fact disappears from
+  the store exactly when its last support is removed.  The plain
+  :meth:`RelationStore.add` has set semantics (a duplicate insert does *not*
+  accumulate support) and gives a fact a single support.
 
 Lookups with a *non-ground* predicate name (the higher-order case, e.g. the
 body literal ``M(X, Y)`` before ``M`` is bound) fall back to a spill scan
@@ -40,14 +53,20 @@ def predicate_indicator(atom):
 
 
 class Relation:
-    """The facts of one predicate indicator, with on-demand hash indexes."""
+    """The facts of one predicate indicator, with on-demand hash indexes.
+
+    Facts are stored as the keys of an insertion-ordered dictionary (a
+    constant-time ordered set), so removal is as cheap as insertion and
+    iteration order stays deterministic.
+    """
 
     __slots__ = ("indicator", "facts", "_indexes")
 
     def __init__(self, indicator):
         self.indicator = indicator
-        self.facts = []
-        # positions tuple -> {argument-value tuple: [facts]}
+        # atom -> None: an insertion-ordered set supporting O(1) removal.
+        self.facts = {}
+        # positions tuple -> {argument-value tuple: {atom: None}}
         self._indexes = {}
 
     def __len__(self):
@@ -57,25 +76,41 @@ class Relation:
         return iter(self.facts)
 
     def add(self, atom):
-        """Append a fact (assumed new — membership lives in the store)."""
-        self.facts.append(atom)
+        """Insert a fact (assumed new — membership lives in the store)."""
+        self.facts[atom] = None
         for positions, table in self._indexes.items():
             key = tuple(atom.args[i] for i in positions)
-            table.setdefault(key, []).append(atom)
+            table.setdefault(key, {})[atom] = None
+
+    def remove(self, atom):
+        """Delete a fact (assumed present), maintaining every index."""
+        del self.facts[atom]
+        for positions, table in self._indexes.items():
+            key = tuple(atom.args[i] for i in positions)
+            bucket = table.get(key)
+            if bucket is not None:
+                bucket.pop(atom, None)
+                if not bucket:
+                    del table[key]
 
     def lookup(self, positions, key):
         """Facts whose arguments at ``positions`` equal ``key`` (a tuple of
-        ground terms).  Builds the index for ``positions`` on first use."""
+        ground terms).  Builds the index for ``positions`` on first use.
+
+        Returns a fresh list so callers may mutate the relation while
+        iterating over the result (the semi-naive loop adds facts mid-scan).
+        """
         if not positions:
-            return self.facts
+            return list(self.facts)
         table = self._indexes.get(positions)
         if table is None:
             table = {}
             for atom in self.facts:
                 fact_key = tuple(atom.args[i] for i in positions)
-                table.setdefault(fact_key, []).append(atom)
+                table.setdefault(fact_key, {})[atom] = None
             self._indexes[positions] = table
-        return table.get(key, ())
+        bucket = table.get(key)
+        return list(bucket) if bucket is not None else ()
 
     def index_count(self):
         """Number of indexes materialized so far (for diagnostics)."""
@@ -85,13 +120,16 @@ class Relation:
 class RelationStore:
     """A database of ground atoms partitioned into indexed relations."""
 
-    __slots__ = ("_relations", "_by_arity", "_members", "_count")
+    __slots__ = ("_relations", "_by_arity", "_members", "_count", "_supports")
 
     def __init__(self, facts=()):
         self._relations = {}
         self._by_arity = {}
         self._members = set()
         self._count = 0
+        # atom -> number of supports (derivations / assertions); every stored
+        # atom has an entry, plain add() gives exactly one support.
+        self._supports = {}
         for atom in facts:
             self.add(atom)
 
@@ -105,13 +143,18 @@ class RelationStore:
         return iter(self._members)
 
     def add(self, atom):
-        """Insert a ground atom; return ``True`` when it was new."""
+        """Insert a ground atom; return ``True`` when it was new.
+
+        Set semantics: inserting a present atom is a no-op (its support
+        count is *not* incremented — use :meth:`add_support` for counting).
+        """
         if atom in self._members:
             return False
         if not atom.is_ground():
             raise GroundingError("cannot store non-ground atom %r" % (atom,))
         self._members.add(atom)
         self._count += 1
+        self._supports[atom] = 1
         indicator = predicate_indicator(atom)
         relation = self._relations.get(indicator)
         if relation is None:
@@ -121,6 +164,52 @@ class RelationStore:
         relation.add(atom)
         return True
 
+    def remove(self, atom):
+        """Delete an atom (whatever its support count); return ``True`` when
+        it was present.  Every materialized index is kept current."""
+        if atom not in self._members:
+            return False
+        self._members.discard(atom)
+        self._count -= 1
+        del self._supports[atom]
+        self._relations[predicate_indicator(atom)].remove(atom)
+        return True
+
+    def support(self, atom):
+        """The support count of an atom (0 when absent)."""
+        return self._supports.get(atom, 0)
+
+    def add_support(self, atom, count=1):
+        """Add ``count`` supports to an atom; return ``True`` when the atom
+        became present (was previously unsupported)."""
+        if count <= 0:
+            raise ValueError("support increment must be positive")
+        if atom in self._members:
+            self._supports[atom] += count
+            return False
+        self.add(atom)
+        self._supports[atom] = count
+        return True
+
+    def remove_support(self, atom, count=1):
+        """Remove ``count`` supports from an atom; return ``True`` when the
+        atom's last support disappeared (the atom was deleted).  Raises
+        :class:`GroundingError` when the atom has fewer supports than
+        ``count`` — the counting invariant was broken."""
+        if count <= 0:
+            raise ValueError("support decrement must be positive")
+        current = self._supports.get(atom, 0)
+        if current < count:
+            raise GroundingError(
+                "removing %d supports from %r which has only %d (counting "
+                "invariant violated)" % (count, atom, current)
+            )
+        if current == count:
+            self.remove(atom)
+            return True
+        self._supports[atom] = current - count
+        return False
+
     def relation(self, name, arity):
         """The :class:`Relation` for an indicator, or ``None``."""
         return self._relations.get((name, arity))
@@ -128,7 +217,12 @@ class RelationStore:
     def facts(self, name, arity):
         """All facts of one indicator (empty list when absent)."""
         relation = self._relations.get((name, arity))
-        return relation.facts if relation is not None else []
+        return list(relation.facts) if relation is not None else []
+
+    def has_facts(self, name, arity):
+        """``True`` when the indicator has at least one fact."""
+        relation = self._relations.get((name, arity))
+        return relation is not None and len(relation) > 0
 
     def relations(self):
         """All relations, in first-insertion order of their indicators."""
@@ -150,7 +244,6 @@ class RelationStore:
         of the pattern's arity, narrowed by the outermost symbol of the name
         when one exists.
         """
-        applied_pattern = pattern
         if not isinstance(pattern, App):
             # Propositional pattern: a ground symbol, or a bare variable
             # (which can match any stored atom — full spill).
@@ -158,7 +251,7 @@ class RelationStore:
             if isinstance(resolved, Var):
                 return list(self._members)
             relation = self._relations.get(predicate_indicator(resolved))
-            return relation.facts if relation is not None else ()
+            return list(relation.facts) if relation is not None else ()
 
         name = subst.apply(pattern.name)
         arity = len(pattern.args)
@@ -170,7 +263,7 @@ class RelationStore:
                 key = tuple(subst.apply(pattern.args[i]) for i in index_positions)
                 if all(part.is_ground() for part in key):
                     return relation.lookup(index_positions, key)
-            return relation.facts
+            return list(relation.facts)
 
         # Spill: the predicate name is still non-ground.  Narrow by the
         # outermost symbol when the name has one (e.g. ``winning(M)``), else

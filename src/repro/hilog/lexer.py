@@ -28,6 +28,9 @@ class Token(NamedTuple):
     value: str
     line: int
     column: int
+    #: True for identifiers produced by a quoted atom (``'not'``), which
+    #: must never be mistaken for the bare keyword/operator spelling.
+    quoted: bool = False
 
 
 #: Multi-character punctuation, longest first so greedy matching is correct.
@@ -127,7 +130,7 @@ def tokenize(text):
                 pieces.append(text[end])
                 end += 1
             value = "".join(pieces)
-            tokens.append(Token(KIND_IDENT, value, line, column))
+            tokens.append(Token(KIND_IDENT, value, line, column, quoted=True))
             column += end + 1 - index
             index = end + 1
             continue

@@ -169,7 +169,7 @@ class _Parser:
     def _is_negation_keyword(self):
         """``not`` acts as negation unless used as an ordinary symbol ``not(...)``."""
         token = self._peek()
-        if token.kind != KIND_IDENT or token.value != "not":
+        if token.kind != KIND_IDENT or token.value != "not" or token.quoted:
             return False
         following = self._peek(1)
         if following.kind == KIND_PUNCT and following.value == "(":
@@ -203,7 +203,7 @@ class _Parser:
                     return aggregate
             right = self.parse_term()
             return Literal(App(Sym(op), (left, right)))
-        if token.kind == KIND_IDENT and token.value == "is":
+        if token.kind == KIND_IDENT and token.value == "is" and not token.quoted:
             self._advance()
             right = self.parse_term()
             return Literal(App(Sym("is"), (left, right)))
@@ -217,7 +217,7 @@ class _Parser:
         """
         saved = self._pos
         token = self._peek()
-        if token.kind != KIND_IDENT or token.value not in _AGG_OPS:
+        if token.kind != KIND_IDENT or token.quoted or token.value not in _AGG_OPS:
             return None
         op = token.value
         if not (self._peek(1).kind == KIND_PUNCT and self._peek(1).value == "("):

@@ -34,6 +34,17 @@ class Substitution:
                 clean[variable] = value
         self._bindings = clean
 
+    @classmethod
+    def _trusted(cls, bindings):
+        """Wrap an already-validated ``{Var: Term}`` dict without copying.
+
+        Internal fast path for the matching/joining hot loops (the dict must
+        not be mutated afterwards and must not bind a variable to itself).
+        """
+        subst = cls.__new__(cls)
+        subst._bindings = bindings
+        return subst
+
     # -- mapping protocol ---------------------------------------------------
     def __contains__(self, variable):
         return variable in self._bindings

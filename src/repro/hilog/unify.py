@@ -115,7 +115,9 @@ def match(pattern, ground, subst=None):
             stack.extend(zip(a.args, b.args))
             continue
         return None
-    return Substitution(bindings)
+    # The ground side contributes only Term values and never binds a
+    # variable to itself, so the validating constructor can be skipped.
+    return Substitution._trusted(bindings)
 
 
 def variant(left, right):

@@ -14,6 +14,9 @@ package generates parameterized instances of each:
   programs for the reduction-theorem and preservation experiments.
 * :mod:`repro.workloads.closure` — transitive-closure programs (plain,
   Datahilog and higher-order) for the semi-naive scaling benchmark.
+* :mod:`repro.workloads.streams` — update-sequence builders (edge churn,
+  growing chains, sliding windows, win/move streams) for the incremental
+  maintenance benchmark and the session property tests.
 """
 
 from repro.workloads.closure import (
@@ -37,6 +40,17 @@ from repro.workloads.games import (
 )
 from repro.workloads.parts import bicycle_parts_program, parts_explosion_program, random_hierarchy
 from repro.workloads.random_programs import random_range_restricted_program
+from repro.workloads.streams import (
+    Update,
+    edge_atom,
+    edge_churn_stream,
+    growing_chain_stream,
+    insert_edges,
+    replay,
+    retract_edges,
+    sliding_window_stream,
+    win_move_stream,
+)
 
 __all__ = [
     "chain_edges",
@@ -56,4 +70,13 @@ __all__ = [
     "datahilog_closure_program",
     "hilog_closure_program",
     "expected_closure",
+    "Update",
+    "edge_atom",
+    "insert_edges",
+    "retract_edges",
+    "edge_churn_stream",
+    "growing_chain_stream",
+    "sliding_window_stream",
+    "win_move_stream",
+    "replay",
 ]

@@ -1,0 +1,109 @@
+"""Property tests: a random insert/retract sequence through
+:class:`~repro.db.DatabaseSession` agrees atom-for-atom with a from-scratch
+``perfect_model_for_hilog`` of the accumulated program after every step."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.modular import perfect_model_for_hilog
+from repro.db import DatabaseSession
+from repro.hilog.parser import parse_program
+from repro.hilog.program import Program, Rule
+from repro.hilog.terms import App, Sym
+
+#: Recursive definite stratum (DRed) on top of an extensional edge relation.
+TC_RULES = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+"""
+
+#: Counting + DRed + stratified negation, three strata.
+MIXED_RULES = """
+    hop2(X, Y) :- e(X, Z), e(Z, Y).
+    reach(X) :- source(X).
+    reach(Y) :- reach(X), e(X, Y).
+    unreached(X) :- node(X), not reach(X).
+"""
+
+NODES = ("a", "b", "c", "d")
+
+
+def _atom(name, *args):
+    return App(Sym(name), tuple(Sym(a) for a in args))
+
+
+def _edge_ops():
+    """A strategy of candidate facts to toggle (insert when absent, retract
+    when present) — edges plus the extensional predicates of MIXED_RULES."""
+    edges = [_atom("e", x, y) for x in NODES for y in NODES]
+    sources = [_atom("source", x) for x in NODES]
+    nodes = [_atom("node", x) for x in NODES]
+    return st.lists(
+        st.sampled_from(edges + sources + nodes), min_size=1, max_size=25
+    )
+
+
+def _scratch_true(rules_text, edb):
+    program = parse_program(rules_text)
+    full = Program(program.rules + tuple(Rule(atom) for atom in sorted(edb, key=repr)))
+    return perfect_model_for_hilog(full).true
+
+
+def _toggle_and_compare(rules_text, operations):
+    session = DatabaseSession(rules_text)
+    assert session.mode == "incremental"
+    for atom in operations:
+        if atom in session.edb():
+            session.retract(atom)
+        else:
+            session.insert(atom)
+        assert session.true == _scratch_true(rules_text, session.edb())
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_edge_ops())
+def test_tc_session_agrees_with_perfect_model(operations):
+    _toggle_and_compare(TC_RULES, operations)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_edge_ops())
+def test_mixed_strata_session_agrees_with_perfect_model(operations):
+    _toggle_and_compare(MIXED_RULES, operations)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_edge_ops(), st.integers(min_value=1, max_value=4))
+def test_batched_transactions_agree_with_perfect_model(operations, batch):
+    """The same property under batched (transactional) application."""
+    session = DatabaseSession(MIXED_RULES)
+    for start in range(0, len(operations), batch):
+        chunk = operations[start:start + batch]
+        with session.transaction() as txn:
+            staged = set(session.edb())
+            for atom in chunk:
+                if atom in staged:
+                    txn.retract(atom)
+                    staged.discard(atom)
+                else:
+                    txn.insert(atom)
+                    staged.add(atom)
+        assert session.true == _scratch_true(MIXED_RULES, session.edb())
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_edge_ops())
+def test_session_internal_check_agrees(operations):
+    """The session's own integrity check (against its engine-level
+    reference) holds along every random trajectory."""
+    session = DatabaseSession(MIXED_RULES)
+    for atom in operations:
+        if atom in session.edb():
+            session.retract(atom)
+        else:
+            session.insert(atom)
+    assert session.check()

@@ -1,0 +1,99 @@
+"""Tests for the update-stream builders (:mod:`repro.workloads.streams`)."""
+
+import pytest
+
+from repro.db import DatabaseSession
+from repro.workloads.closure import transitive_closure_program
+from repro.workloads.graphs import chain_edges, is_acyclic, random_dag_edges
+from repro.workloads.streams import (
+    INSERT,
+    RETRACT,
+    Update,
+    edge_atom,
+    edge_churn_stream,
+    growing_chain_stream,
+    insert_edges,
+    replay,
+    retract_edges,
+    sliding_window_stream,
+    win_move_stream,
+)
+
+
+class TestBuilders:
+    def test_edge_atom(self):
+        assert repr(edge_atom("e", "a", "b")) == "e(a, b)"
+
+    def test_streams_are_deterministic(self):
+        base = chain_edges(10)
+        assert edge_churn_stream(base, seed=3) == edge_churn_stream(base, seed=3)
+        assert edge_churn_stream(base, seed=3) != edge_churn_stream(base, seed=4)
+
+    def test_churn_only_retracts_present_edges(self):
+        base = chain_edges(8)
+        present = set(base)
+        for update in edge_churn_stream(base, operations=50, seed=1):
+            for atom in update.atoms:
+                edge = (atom.args[0].name, atom.args[1].name)
+                if update.action == INSERT:
+                    assert edge not in present
+                    present.add(edge)
+                else:
+                    assert edge in present
+                    present.discard(edge)
+
+    def test_growing_chain_stream(self):
+        stream = growing_chain_stream(5, 3)
+        assert [u.action for u in stream] == [INSERT] * 3
+        assert repr(stream[0].atoms[0]) == "e(n5, n6)"
+        assert repr(stream[-1].atoms[0]) == "e(n7, n8)"
+
+    def test_sliding_window_stream_bounds_live_edges(self):
+        edges = chain_edges(30)
+        stream = sliding_window_stream(edges, window=5)
+        live = set()
+        for update in stream:
+            for atom in update.atoms:
+                edge = (atom.args[0].name, atom.args[1].name)
+                if update.action == INSERT:
+                    live.add(edge)
+                else:
+                    live.discard(edge)
+            assert len(live) <= 6
+        assert len(live) == 5
+
+    def test_win_move_stream_stays_acyclic(self):
+        base = random_dag_edges(15, 30, seed=9)
+        present = set(base)
+        for update in win_move_stream(15, base, operations=40, seed=9):
+            for atom in update.atoms:
+                edge = (atom.args[0].name, atom.args[1].name)
+                if update.action == INSERT:
+                    present.add(edge)
+                else:
+                    present.discard(edge)
+            assert is_acyclic(sorted(present))
+
+
+class TestReplay:
+    def test_replay_applies_stream(self):
+        session = DatabaseSession(transitive_closure_program(chain_edges(4)))
+        stream = [insert_edges("e", [("n4", "n5")]), retract_edges("e", [("n0", "n1")])]
+        summaries = replay(session, stream, verify=True)
+        assert len(summaries) == 2
+        assert session.ask("tc(n1, n5)")
+        assert not session.ask("tc(n0, n1)")
+
+    def test_replay_on_step_callback(self):
+        session = DatabaseSession(transitive_closure_program(chain_edges(3)))
+        seen = []
+        replay(
+            session, growing_chain_stream(3, 2),
+            on_step=lambda index, update, summary: seen.append((index, update.action)),
+        )
+        assert seen == [(0, INSERT), (1, INSERT)]
+
+    def test_replay_rejects_unknown_action(self):
+        session = DatabaseSession(transitive_closure_program(chain_edges(2)))
+        with pytest.raises(ValueError):
+            replay(session, [Update("upsert", (edge_atom("e", "a", "b"),))])
