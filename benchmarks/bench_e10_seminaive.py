@@ -7,14 +7,34 @@ well-founded fixpoint, the reference oracle) and ``"seminaive"``
 transitive-closure, win/move and parts-explosion workloads, asserting on
 every instance that both strategies derive the same true atoms.
 
+Alongside wall time, the seminaive runs record the register executor's
+*join-candidate* counters (``EXECUTION_STATS``) and the allocation volume
+of a traced run, so speedups stay attributable to fewer candidates /
+allocations rather than measurement luck.
+
+Hotspot history (cProfile, chain-80 seminaive perfect model, this machine):
+
+* PR 2 (Substitution-based executor, 59 ms): ``unify.match`` (binding-dict
+  copy per candidate) 33%, ``Substitution.apply`` 31%, store ``candidates``
+  17% of cumulative time; ~788k function calls.
+* PR 3 (hash-consed terms + register executor, ~14 ms): the match/apply
+  pair is gone — remaining top entries are the register-op collector loop
+  (~16%), relation-store insertion/index maintenance (~14%) and head
+  intern probes (~8%); ~230k function calls, join candidates unchanged
+  (the same joins run — each candidate now costs a few pointer
+  comparisons, index probes hash one interned term instead of a tuple).
+
 Run with::
 
     pytest benchmarks/bench_e10_seminaive.py --benchmark-only -s
 """
 
 import time
+import tracemalloc
 
 import pytest
+
+from repro.engine.seminaive import EXECUTION_STATS
 
 from repro.analysis.report import ExperimentRow, print_table
 from repro.core.magic.evaluate import magic_evaluate
@@ -42,10 +62,19 @@ def _timed(fn):
 @pytest.mark.parametrize("length", TC_SIZES)
 def test_transitive_closure_scaling(benchmark, length, strategy):
     program = transitive_closure_program(chain_edges(length))
+    EXECUTION_STATS.reset()
     model = benchmark.pedantic(
         lambda: perfect_model_for_hilog(program, strategy=strategy),
         rounds=1, iterations=1,
     )
+    benchmark.extra_info.update(EXECUTION_STATS.snapshot())
+    if strategy == "seminaive":
+        # Attribute the win: how much the engine allocates for this model.
+        tracemalloc.start()
+        perfect_model_for_hilog(program, strategy=strategy)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        benchmark.extra_info["alloc_peak_kb"] = peak // 1024
     derived = {a for a in model.true if repr(a).startswith("tc(")}
     assert len(derived) == length * (length + 1) // 2
 
@@ -61,10 +90,13 @@ def test_transitive_closure_strategy_comparison(benchmark):
         program = transitive_closure_program(edges)
         expected = expected_closure(edges)
         times = {}
+        candidates = {}
         for strategy in STRATEGIES:
+            EXECUTION_STATS.reset()
             model, elapsed = _timed(
                 lambda strategy=strategy: perfect_model_for_hilog(program, strategy=strategy)
             )
+            candidates[strategy] = EXECUTION_STATS.candidates
             pairs = {
                 (repr(a.args[0]), repr(a.args[1]))
                 for a in model.true if repr(a).startswith("tc(")
@@ -77,12 +109,13 @@ def test_transitive_closure_strategy_comparison(benchmark):
             "ground (s)": round(times["ground"], 3),
             "seminaive (s)": round(times["seminaive"], 3),
             "speedup": round(speedup, 1),
+            "join cands": candidates["seminaive"],
         }))
         assert times["seminaive"] < times["ground"]
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     print_table(
         "E10a  Transitive closure: grounding oracle vs semi-naive engine",
-        ["workload", "ground (s)", "seminaive (s)", "speedup"],
+        ["workload", "ground (s)", "seminaive (s)", "speedup", "join cands"],
         rows,
     )
     assert speedup_at_largest > 1.0

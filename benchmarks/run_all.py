@@ -13,8 +13,22 @@ Usage::
     python benchmarks/run_all.py --only e10 e11   # a subset (substring match)
     python benchmarks/run_all.py --smoke          # the fast incremental smoke set
     python benchmarks/run_all.py --output path.json
+    python benchmarks/run_all.py --profile        # cProfile top-N per file
+    python benchmarks/run_all.py --check-baseline # regression-gate vs baseline.json
+    python benchmarks/run_all.py --update-baseline
 
-Exit status is non-zero when any benchmark file fails.
+The **regression gate** (``--check-baseline``) compares the fresh results
+against the committed ``benchmarks/baseline.json``: any benchmark whose wall
+time exceeds ``baseline * tolerance`` (``--tolerance``, default 3.0 — CI
+runners are noisy) fails the run.  Refresh the baseline with
+``--update-baseline`` after an intentional performance change, on a quiet
+machine.
+
+The **profiling harness** (``--profile``) reruns each benchmark file under
+``cProfile`` and prints/records the top functions by internal time, so perf
+PRs start from evidence instead of guesses.
+
+Exit status is non-zero when any benchmark file fails (or regresses).
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ import glob
 import json
 import os
 import platform
+import pstats
 import subprocess
 import sys
 import tempfile
@@ -46,15 +61,21 @@ def discover(only=None, smoke=False):
     return files
 
 
-def run_file(path, timeout):
-    """Run one benchmark file; returns ``(ok, wall_seconds, benchmarks)``."""
+def run_file(path, timeout, profile=False, profile_top=15):
+    """Run one benchmark file; returns ``(ok, wall, benchmarks, output, hotspots)``."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         json_path = handle.name
+    profile_path = None
     env = dict(os.environ)
     src = os.path.join(REPO, "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    command = [
-        sys.executable, "-m", "pytest", path,
+    command = [sys.executable]
+    if profile:
+        with tempfile.NamedTemporaryFile(suffix=".pstats", delete=False) as handle:
+            profile_path = handle.name
+        command += ["-m", "cProfile", "-o", profile_path]
+    command += [
+        "-m", "pytest", path,
         "--benchmark-only", "-q", "--benchmark-json=%s" % json_path,
     ]
     start = time.perf_counter()
@@ -92,7 +113,98 @@ def run_file(path, timeout):
             os.unlink(json_path)
         except OSError:
             pass
-    return ok, wall, benchmarks, output
+
+    hotspots = []
+    if profile_path is not None:
+        try:
+            stats = pstats.Stats(profile_path)
+            entries = sorted(
+                stats.stats.items(), key=lambda item: item[1][2], reverse=True
+            )
+            for (filename, line, func), (cc, ncalls, tottime, cumtime, _callers) \
+                    in entries:
+                if filename == "~":
+                    continue  # builtins (incl. the profiler's own hooks)
+                location = "%s:%d" % (os.path.basename(filename), line)
+                hotspots.append({
+                    "function": "%s (%s)" % (func, location),
+                    "ncalls": ncalls,
+                    "tottime_s": round(tottime, 4),
+                    "cumtime_s": round(cumtime, 4),
+                })
+                if len(hotspots) >= profile_top:
+                    break
+        except Exception:
+            pass
+        finally:
+            try:
+                os.unlink(profile_path)
+            except OSError:
+                pass
+    return ok, wall, benchmarks, output, hotspots
+
+
+def _benchmark_key(entry):
+    """Stable identity of one benchmark across runs."""
+    return "%s::%s" % (entry.get("file", ""), entry.get("name", ""))
+
+
+def _timing_measures(entry, min_seconds):
+    """The gateable timings of one benchmark entry: its pytest-benchmark
+    wall time plus every ``*_s`` seconds-valued measurement the benchmark
+    recorded in ``extra_info`` (the e10/e11 headline numbers — insert_s,
+    retract_s, incremental_s, ... — live there, the pedantic wall time being
+    a placeholder).  Sub-``min_seconds`` values are noise and skipped."""
+    measures = {}
+    wall = entry.get("wall_time_s")
+    if isinstance(wall, (int, float)) and wall >= min_seconds:
+        measures["wall_time_s"] = wall
+    for key, value in (entry.get("sizes") or {}).items():
+        if key.endswith("_s") and isinstance(value, (int, float)) \
+                and value >= min_seconds:
+            measures[key] = value
+    return measures
+
+
+def check_baseline(results, baseline_path, tolerance, min_seconds=0.0005):
+    """Compare fresh results against the committed baseline.
+
+    Every timing measure of every benchmark present in both runs is gated:
+    the pytest-benchmark wall time and the ``*_s`` extra-info measurements
+    (where the e11 maintenance benchmarks record their real numbers — the
+    half-millisecond floor keeps sub-millisecond insert/retract timings
+    gated while the ~2 microsecond pedantic placeholders stay excluded).
+    Returns a list of human-readable regression strings; benchmarks missing
+    from either side, and sub-``min_seconds`` baseline values (pure noise),
+    are skipped.
+    """
+    try:
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+    except OSError:
+        return ["baseline file %s is missing (generate it with "
+                "--update-baseline)" % baseline_path]
+    baseline_entries = {
+        _benchmark_key(entry): entry for entry in baseline.get("benchmarks", ())
+    }
+    regressions = []
+    for entry in results["benchmarks"]:
+        reference = baseline_entries.get(_benchmark_key(entry))
+        if reference is None:
+            continue
+        reference_measures = _timing_measures(reference, min_seconds)
+        fresh_measures = _timing_measures(entry, 0.0)
+        for measure, reference_value in reference_measures.items():
+            fresh_value = fresh_measures.get(measure)
+            if fresh_value is None:
+                continue
+            if fresh_value > reference_value * tolerance:
+                regressions.append(
+                    "%s [%s]: %.4fs vs baseline %.4fs (> %.1fx tolerance)"
+                    % (_benchmark_key(entry), measure, fresh_value,
+                       reference_value, tolerance)
+                )
+    return regressions
 
 
 def main(argv=None):
@@ -104,6 +216,21 @@ def main(argv=None):
     parser.add_argument("--output", default=os.path.join(REPO, "BENCH_results.json"))
     parser.add_argument("--timeout", type=float, default=1800.0,
                         help="per-file timeout in seconds")
+    parser.add_argument("--profile", action="store_true",
+                        help="rerun each file under cProfile and record the "
+                             "top functions by internal time")
+    parser.add_argument("--profile-top", type=int, default=15,
+                        help="how many hotspot entries to keep per file")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="fail when any benchmark regresses beyond "
+                             "tolerance vs benchmarks/baseline.json")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the fresh results to the baseline file")
+    parser.add_argument("--baseline",
+                        default=os.path.join(HERE, "baseline.json"),
+                        help="path of the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed slowdown factor vs the baseline")
     args = parser.parse_args(argv)
 
     files = discover(only=args.only, smoke=args.smoke)
@@ -122,13 +249,22 @@ def main(argv=None):
     for path in files:
         name = os.path.basename(path)
         print("== %s" % name, flush=True)
-        ok, wall, benchmarks, output = run_file(path, args.timeout)
+        ok, wall, benchmarks, output, hotspots = run_file(
+            path, args.timeout, profile=args.profile,
+            profile_top=args.profile_top,
+        )
         if not ok:
             failures += 1
             print(output)
         print("   %s in %.1fs, %d benchmark(s)"
               % ("ok" if ok else "FAILED", wall, len(benchmarks)), flush=True)
-        results["files"].append({"file": name, "ok": ok, "wall_time_s": round(wall, 3)})
+        entry = {"file": name, "ok": ok, "wall_time_s": round(wall, 3)}
+        if hotspots:
+            entry["hotspots"] = hotspots
+            print("   top hotspots (tottime):")
+            for spot in hotspots[:5]:
+                print("     %7.3fs  %s" % (spot["tottime_s"], spot["function"]))
+        results["files"].append(entry)
         for bench in benchmarks:
             bench["file"] = name
             results["benchmarks"].append(bench)
@@ -141,6 +277,45 @@ def main(argv=None):
         handle.write("\n")
     print("wrote %s (%d files, %d benchmarks, %d failure(s))"
           % (args.output, len(results["files"]), len(results["benchmarks"]), failures))
+
+    if args.update_baseline:
+        baseline_out = results
+        if args.smoke or args.only:
+            # Partial run: merge into the existing baseline instead of
+            # overwriting it, so the gate over the other files survives.
+            try:
+                with open(args.baseline) as handle:
+                    baseline_out = json.load(handle)
+            except OSError:
+                baseline_out = {"benchmarks": [], "files": []}
+            fresh_keys = {_benchmark_key(b) for b in results["benchmarks"]}
+            fresh_files = {entry["file"] for entry in results["files"]}
+            baseline_out["benchmarks"] = [
+                b for b in baseline_out.get("benchmarks", ())
+                if _benchmark_key(b) not in fresh_keys
+            ] + results["benchmarks"]
+            baseline_out["files"] = [
+                entry for entry in baseline_out.get("files", ())
+                if entry.get("file") not in fresh_files
+            ] + results["files"]
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline_out, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("updated baseline %s (%s)" % (
+            args.baseline,
+            "merged partial run" if baseline_out is not results else "full run",
+        ))
+
+    if args.check_baseline:
+        regressions = check_baseline(results, args.baseline, args.tolerance)
+        if regressions:
+            print("BASELINE REGRESSIONS:")
+            for line in regressions:
+                print("  " + line)
+            return 1
+        print("baseline check ok (tolerance %.1fx vs %s)"
+              % (args.tolerance, os.path.basename(args.baseline)))
+
     return 1 if failures else 0
 
 

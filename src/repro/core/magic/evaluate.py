@@ -231,13 +231,31 @@ def answer_from_store(store, query_literals):
     ``ground_rules`` 0 and the interpretation restricted to the answers.
     """
     pattern = query_literals[0].atom
-    from repro.hilog.terms import atom_arguments
+    from repro.hilog.terms import App
 
-    positions = tuple(
-        i for i, arg in enumerate(atom_arguments(pattern)) if arg.is_ground()
-    )
-    candidates = store.candidates(pattern, Substitution(), positions)
-    matched = [atom for atom in candidates if match(pattern, atom) is not None]
+    if pattern.is_ground():
+        # Fully bound query: one membership probe against the store.
+        matched = [pattern] if pattern in store else []
+    elif isinstance(pattern, App) and pattern.name.is_ground():
+        # Bound-name query: a single indexed probe on the ground argument
+        # positions (interned-identity key), then residual matching for the
+        # open positions only.
+        positions = tuple(
+            i for i, arg in enumerate(pattern.args) if arg.is_ground()
+        )
+        if len(positions) == 1:
+            key = pattern.args[positions[0]]  # bare-term single-position key
+        else:
+            key = tuple(pattern.args[i] for i in positions)
+        candidates, _exact = store.fetch(
+            pattern.name, len(pattern.args), positions, key
+        )
+        matched = [atom for atom in candidates if match(pattern, atom) is not None]
+    else:
+        # Higher-order / propositional-variable patterns: the store's
+        # general candidate scan, then full matching.
+        candidates = store.candidates(pattern, Substitution(), ())
+        matched = [atom for atom in candidates if match(pattern, atom) is not None]
     matched.sort(key=repr)
     answers = frozenset(matched)
     return MagicEvaluationResult(

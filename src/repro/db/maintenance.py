@@ -41,12 +41,13 @@ from repro.engine.seminaive.engine import (
     check_derived_atom,
     evaluate_stratum,
     plan_satisfiable,
+    plan_satisfiable_positional,
     run_plan,
 )
+from repro.engine.seminaive.plan import build_term
 from repro.db.plans import COUNTING
-from repro.engine.seminaive.relation import RelationStore, predicate_indicator
+from repro.engine.seminaive.relation import RelationStore, SignedStore, predicate_indicator
 from repro.hilog.errors import GroundingError
-from repro.hilog.subst import Substitution
 from repro.hilog.terms import App
 from repro.hilog.unify import match
 
@@ -59,8 +60,8 @@ class Delta:
     __slots__ = ("added", "removed")
 
     def __init__(self):
-        self.added = RelationStore()
-        self.removed = RelationStore()
+        self.added = SignedStore()
+        self.removed = SignedStore()
 
     def record_add(self, atom):
         if atom in self.removed:
@@ -89,7 +90,12 @@ class Delta:
 
 
 class _ExcludingView:
-    """A store minus the members of another store (no copying)."""
+    """A store minus the members of another store (no copying).
+
+    Implements the register executor's fetch protocol by filtering the
+    underlying store's results; exactness is inherited (filtering never
+    adds foreign-indicator facts).
+    """
 
     __slots__ = ("store", "minus")
 
@@ -97,13 +103,20 @@ class _ExcludingView:
         self.store = store
         self.minus = minus
 
-    def candidates(self, pattern, subst, index_positions=()):
+    def fetch(self, name, arity, positions, key):
+        facts, exact = self.store.fetch(name, arity, positions, key)
         minus = self.minus
-        return [
-            fact
-            for fact in self.store.candidates(pattern, subst, index_positions)
-            if fact not in minus
-        ]
+        return [fact for fact in facts if fact not in minus], exact
+
+    def spill(self, arity, symbol):
+        facts, exact = self.store.spill(arity, symbol)
+        minus = self.minus
+        return [fact for fact in facts if fact not in minus], exact
+
+    def all_facts(self):
+        facts, exact = self.store.all_facts()
+        minus = self.minus
+        return [fact for fact in facts if fact not in minus], exact
 
     def __contains__(self, atom):
         return atom in self.store and atom not in self.minus
@@ -117,11 +130,28 @@ class _UnionView:
     def __init__(self, *sources):
         self.sources = sources
 
-    def candidates(self, pattern, subst, index_positions=()):
+    def fetch(self, name, arity, positions, key):
+        result = []
+        exact = True
+        for source in self.sources:
+            facts, source_exact = source.fetch(name, arity, positions, key)
+            result.extend(facts)
+            exact = exact and source_exact
+        return result, exact
+
+    def spill(self, arity, symbol):
         result = []
         for source in self.sources:
-            result.extend(source.candidates(pattern, subst, index_positions))
-        return result
+            facts, _exact = source.spill(arity, symbol)
+            result.extend(facts)
+        return result, False
+
+    def all_facts(self):
+        result = []
+        for source in self.sources:
+            facts, _exact = source.all_facts()
+            result.extend(facts)
+        return result, False
 
     def __contains__(self, atom):
         return any(atom in source for source in self.sources)
@@ -144,8 +174,9 @@ class _FactsDelta:
     The semi-naive worklist rounds of over-deletion are often tiny (one fact
     per round on path-shaped data); building a full indexed
     :class:`RelationStore` per round would dominate the maintenance cost.
-    Candidates are returned unfiltered — the join's ``match`` rejects
-    non-matching facts, and the rounds are small by construction.
+    Candidates are returned unfiltered (``exact=False``) — the executor's
+    match instructions reject non-matching facts, and the rounds are small
+    by construction.
     """
 
     __slots__ = ("facts", "indicators")
@@ -157,8 +188,17 @@ class _FactsDelta:
     def __len__(self):
         return len(self.facts)
 
-    def candidates(self, _pattern, _subst, _index_positions=()):
-        return self.facts
+    def fetch(self, name, arity, positions, key):
+        return self.facts, False
+
+    def spill(self, arity, symbol):
+        return self.facts, False
+
+    def all_facts(self):
+        return self.facts, False
+
+    def __contains__(self, atom):
+        return atom in self.facts  # worklist rounds are small lists
 
     def has_indicator(self, indicator):
         return indicator in self.indicators
@@ -183,14 +223,12 @@ class StagedSources(PlanSources):
         self.after = after
         self.neg = neg
 
-    def candidates(self, step, subst):
+    def select(self, step):
         if step.from_delta:
-            source = self.delta
-        elif step.body_index < self.site:
-            source = self.before
-        else:
-            source = self.after
-        return source.candidates(step.literal.atom, subst, step.index_positions)
+            return self.delta
+        if step.body_index < self.site:
+            return self.before
+        return self.after
 
     def holds(self, atom):
         return atom in self.neg
@@ -244,7 +282,7 @@ def counting_update(plans, store, delta, edb_added, edb_removed, limits):
             sources = StagedSources(
                 store, delta_store, site, before=before, after=after, neg=None
             )
-            for head in run_plan(plan, sources):
+            for head in run_plan(plan, sources, max_results=limits.max_facts):
                 changes[head] = changes.get(head, 0) + sign
 
     # Explicit assertions/retractions are one support each.
@@ -329,19 +367,40 @@ def _rederive(plans, store, overdeleted, edb):
     sources = PlanSources(store)
 
     def derivable(atom):
-        for rule, plan, bound_body, linear_head in plans.rederive_plans:
+        for rule, plan, bound_body, linear_head, compiled_body, init_slots \
+                in plans.rederive_plans:
             if linear_head is not None:
-                if not isinstance(atom, App) or atom.name != rule.head.name \
+                if type(atom) is not App or atom.name is not rule.head.name \
                         or len(atom.args) != len(linear_head):
                     continue
-                binding = Substitution._trusted(dict(zip(linear_head, atom.args)))
-            else:
-                binding = match(rule.head, atom)
-                if binding is None:
+                args = atom.args
+                if compiled_body is not None:
+                    # Fastest path: the head instantiates the whole body and
+                    # binds by position — membership tests over terms built
+                    # straight from the candidate's argument tuple.
+                    positives, negatives = compiled_body
+                    matched = True
+                    for builder in positives:
+                        if build_term(builder, args) not in store:
+                            matched = False
+                            break
+                    if matched:
+                        for builder in negatives:
+                            if build_term(builder, args) in store:
+                                matched = False
+                                break
+                    if matched:
+                        return True
                     continue
+                if plan_satisfiable_positional(plan, sources, init_slots, args):
+                    return True
+                continue
+            binding = match(rule.head, atom)
+            if binding is None:
+                continue
             if bound_body is not None:
-                # Fast path: the head instantiates the whole body — the
-                # derivation test is pure membership, no join machinery.
+                # The head instantiates the whole body — the derivation test
+                # is pure membership, no join machinery.
                 positives, negatives = bound_body
                 if all(binding.apply(body_atom) in store for body_atom in positives) \
                         and not any(binding.apply(body_atom) in store
@@ -424,7 +483,7 @@ def dred_update(plans, store, delta, edb, edb_added, edb_removed, limits):
             sources = StagedSources(
                 store, delta.added, site, before=store, after=store, neg=store
             )
-            for head in run_plan(plan, sources):
+            for head in run_plan(plan, sources, max_results=limits.max_facts):
                 try_add(head)
     for _rule, site, indicator, plan in plans.negation_variants:
         # A negated subgoal that just became false enables new derivations.
@@ -432,7 +491,7 @@ def dred_update(plans, store, delta, edb, edb_added, edb_removed, limits):
             sources = StagedSources(
                 store, delta.removed, site, before=store, after=store, neg=store
             )
-            for head in run_plan(plan, sources):
+            for head in run_plan(plan, sources, max_results=limits.max_facts):
                 try_add(head)
 
     _iterations, propagated = evaluate_stratum(
@@ -458,7 +517,7 @@ def materialize_counting_stratum(plans, store, limits):
     """
     sources = PlanSources(store)
     for _rule, plan in plans.stratum.base_plans:
-        for head in run_plan(plan, sources):
+        for head in run_plan(plan, sources, max_results=limits.max_facts):
             limits.check(head, store)
             store.add_support(head)
 

@@ -31,7 +31,7 @@ from repro.engine.seminaive.engine import (
     _literal_indicator,
     compile_stratum,
 )
-from repro.engine.seminaive.plan import PlanError, compile_rule
+from repro.engine.seminaive.plan import PlanError, _compile_builder, compile_rule
 from repro.hilog.program import Literal, Rule
 
 #: Maintenance strategies.
@@ -69,11 +69,16 @@ class MaintenancePlans(NamedTuple):
     #: ``(rule, site, indicator, plan)`` — one per negative body site,
     #: with the negation flipped into a positive delta anchor.
     negation_variants: Tuple
-    #: ``(rule, plan, bound_body, linear_head)`` — bodies compiled with the
-    #: head variables bound; ``bound_body`` is ``(positives, negatives)``
-    #: when the head instantiates the entire body (rederivation is then a
-    #: membership test), else ``None``; ``linear_head`` is the head's
-    #: argument-variable tuple when one ``zip`` can bind it, else ``None``.
+    #: ``(rule, plan, bound_body, linear_head, compiled_body, init_slots)``
+    #: — bodies compiled with the head variables bound; ``bound_body`` is
+    #: ``(positives, negatives)`` when the head instantiates the entire body
+    #: (rederivation is then a membership test), else ``None``;
+    #: ``linear_head`` is the head's argument-variable tuple when one ``zip``
+    #: can bind it, else ``None``; ``compiled_body`` (set with both of the
+    #: above) holds the body atoms as register builders whose "registers"
+    #: are the candidate fact's argument tuple, so the membership test runs
+    #: without any substitution at all; ``init_slots`` maps head positions
+    #: to the plan's register slots for positional satisfiability probes.
     rederive_plans: Tuple
 
     @property
@@ -137,9 +142,28 @@ def build_maintenance_plans(rules, recursive):
                     tuple(lit.atom for lit in rule.body if lit.positive),
                     tuple(lit.atom for lit in rule.body if lit.negative),
                 )
+            linear_head = _linear_head_vars(rule.head)
+            compiled_body = None
+            if bound_body is not None and linear_head is not None:
+                # The candidate fact's argument tuple doubles as the register
+                # file: variable i of the linear head reads ``args[i]``.
+                position_of = {v: i for i, v in enumerate(linear_head)}
+                compiled_body = tuple(
+                    tuple(_compile_builder(atom, head_vars, position_of.__getitem__)
+                          for atom in group)
+                    for group in bound_body
+                )
+            plan = compile_rule(rule, bound=head_vars)
+            init_slots = None
+            if linear_head is not None:
+                # Register slots of the head variables, by head position, so
+                # rederivation can seed the registers straight from a
+                # candidate fact's argument tuple.
+                init_slots = tuple(
+                    plan.registers.slot_of[v] for v in linear_head
+                )
             rederive_plans.append((
-                rule, compile_rule(rule, bound=head_vars), bound_body,
-                _linear_head_vars(rule.head),
+                rule, plan, bound_body, linear_head, compiled_body, init_slots,
             ))
     except PlanError as error:
         if stratum.head_indicators is None:

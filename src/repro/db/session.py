@@ -184,6 +184,7 @@ class DatabaseSession:
                 raise GroundingError("fact %r is not ground" % (rule.head,))
             self._edb.add(rule.head)
         self._limits = _Limits(max_facts, max_term_depth)
+        self._parse_cache = {}
 
         self._plans = None
         self._owner = {}
@@ -266,9 +267,15 @@ class DatabaseSession:
         """Normalize user input into a list of ground atoms.
 
         Accepts a :class:`Term`, a fact :class:`Rule`, program text holding
-        only facts, or an iterable of any of those.
+        only facts, or an iterable of any of those.  Parsed fact strings are
+        memoized (terms are interned and immutable, so the cached atoms are
+        the canonical objects): update streams re-asserting the same facts
+        skip the lexer/parser entirely.
         """
         if isinstance(facts, str):
+            cached = self._parse_cache.get(facts)
+            if cached is not None:
+                return list(cached)
             program = parse_program(facts if facts.rstrip().endswith(".") else facts + ".")
             atoms = []
             for rule in program.rules:
@@ -288,6 +295,10 @@ class DatabaseSession:
         for atom in atoms:
             if not atom.is_ground():
                 raise GroundingError("cannot assert/retract non-ground %r" % (atom,))
+        if isinstance(facts, str):
+            if len(self._parse_cache) >= 4096:
+                self._parse_cache.clear()
+            self._parse_cache[facts] = tuple(atoms)
         return atoms
 
     # -- updates ------------------------------------------------------------

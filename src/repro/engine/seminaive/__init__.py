@@ -17,6 +17,8 @@ or, at the API surface the paper experiments use,
 """
 
 from repro.engine.seminaive.engine import (
+    EXECUTION_STATS,
+    ExecutionStats,
     PlanSources,
     SeminaiveResult,
     SeminaiveUnsupported,
@@ -31,10 +33,18 @@ from repro.engine.seminaive.engine import (
     seminaive_perfect_model,
     stratify_program,
 )
-from repro.engine.seminaive.plan import JoinPlan, JoinStep, PlanError, compile_rule
+from repro.engine.seminaive.plan import (
+    JoinPlan,
+    JoinStep,
+    PlanError,
+    RegisterProgram,
+    compile_rule,
+)
 from repro.engine.seminaive.relation import Relation, RelationStore, predicate_indicator
 
 __all__ = [
+    "EXECUTION_STATS",
+    "ExecutionStats",
     "PlanSources",
     "SeminaiveResult",
     "SeminaiveUnsupported",
@@ -51,6 +61,7 @@ __all__ = [
     "JoinPlan",
     "JoinStep",
     "PlanError",
+    "RegisterProgram",
     "compile_rule",
     "Relation",
     "RelationStore",

@@ -18,17 +18,28 @@ For semi-naive evaluation the compiler also produces *delta variants*: the
 same rule with one designated recursive body literal forced to the front of
 the plan, to be scanned from the per-iteration delta relation instead of the
 full store.
+
+Beyond the (declarative) :class:`JoinPlan`, the compiler lowers every plan
+into a flat **register program** (:class:`RegisterProgram`): rule variables
+are numbered into integer slots of a preallocated register list, each fetch
+becomes an indexed probe whose index key is built straight from registers,
+and matching a candidate fact is a short sequence of identity checks and
+register writes — no per-candidate :class:`~repro.hilog.subst.Substitution`
+allocation anywhere on the hot path.  Because terms are hash-consed
+(:mod:`repro.hilog.terms`), "the fact's argument equals the bound value" is
+a single pointer comparison.  The executor lives in
+:mod:`repro.engine.seminaive.engine`.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, NamedTuple, Tuple
+from typing import Dict, FrozenSet, NamedTuple, Optional, Tuple
 
 from repro.core.magic.sips import left_to_right_sips
 from repro.engine.aggregates import group_variables
 from repro.hilog.errors import HiLogError
 from repro.hilog.program import Literal, Rule
-from repro.hilog.terms import App, Sym, Term, Var, atom_arguments, predicate_name
+from repro.hilog.terms import App, Num, Sym, Term, Var, atom_arguments, predicate_name
 
 
 class PlanError(HiLogError):
@@ -77,6 +88,8 @@ class JoinPlan(NamedTuple):
     aggregates: Tuple[AggregateStep, ...]
     #: Body indices of positive non-builtin literals (delta-variant sites).
     positive_body_indices: Tuple[int, ...]
+    #: The plan lowered to a flat register program (the hot-path executable).
+    registers: "RegisterProgram" = None
 
 
 def _builtin_ready(literal, bound):
@@ -254,4 +267,360 @@ def compile_rule(rule, delta_index=None, bound=frozenset()):
     positives = tuple(
         i for i, lit in enumerate(rule.body) if lit.positive and not lit.is_builtin()
     )
-    return JoinPlan(rule, tuple(steps), deferred, tuple(aggregate_steps), positives)
+    registers = _compile_registers(
+        rule, tuple(steps), deferred, tuple(aggregate_steps), frozenset(bound)
+    )
+    return JoinPlan(
+        rule, tuple(steps), deferred, tuple(aggregate_steps), positives, registers
+    )
+
+
+# ---------------------------------------------------------------------------
+# Register-program lowering
+# ---------------------------------------------------------------------------
+#
+# A register program numbers the rule's variables into integer slots of one
+# preallocated list.  Each join step becomes a flat op:
+#
+# * a *fetch* resolves its relation by precomputed indicator, builds its
+#   index key directly from registers, and matches every candidate fact with
+#   a short list of match instructions — identity checks against interned
+#   terms, register writes, or (rarely) a structural sub-match;
+# * a *negation* builds its ground atom from registers and asks the sources
+#   for membership;
+# * a *builtin* either runs a compiled numeric comparison on registers or
+#   bridges to :func:`repro.engine.builtins.solve_builtin` through a
+#   single trusted substitution.
+#
+# Registers are never trailed or copied: the scheduler guarantees that a
+# step only reads registers written by earlier steps on the current path,
+# and every step unconditionally (re)writes its own output slots, so
+# backtracking is free.  The only exception is variables first bound inside
+# a *nested* argument pattern, whose slots are reset to ``None`` before each
+# candidate so the structural matcher can distinguish "write" from "check".
+
+#: Fetch match instructions: (code, arg position, payload).
+M_CONST = 0   # fact.args[i] is <payload: ground term>
+M_WRITE = 1   # regs[<payload: slot>] = fact.args[i]
+M_CHECK = 2   # fact.args[i] is regs[<payload: slot>]
+M_STRUCT = 3  # structural match of fact.args[i] against <payload: pattern>
+
+#: Name-check codes (applied when candidates are not indicator-exact).
+N_IDENT = 0   # fact.name is the runtime-ground name
+N_WRITE = 1   # regs[slot] = fact.name  (bare-variable name, first occurrence)
+N_STRUCT = 2  # structural match against the (partially bound) name pattern
+
+#: Op kind tags.
+R_FETCH = 0
+R_NEG = 1
+R_BUILTIN = 2
+
+#: Comparison dispatch for the compiled numeric fast path.
+COMPARE_OPS = {
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "=<": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "=:=": lambda a, b: a == b,
+    "=\\=": lambda a, b: a != b,
+}
+
+
+class RFetch:
+    """A compiled fetch: indexed probe + per-candidate match instructions."""
+
+    __slots__ = (
+        "kind", "step", "arity", "const_name", "name_builder", "positions",
+        "key_builders", "key_slots", "key_single", "name_check", "match_ops",
+        "reset_slots", "prop", "membership",
+    )
+
+    def __init__(self, step, arity, const_name, name_builder, positions,
+                 key_builders, name_check, match_ops, reset_slots, prop):
+        self.kind = R_FETCH
+        self.step = step
+        self.arity = arity
+        self.const_name = const_name
+        self.name_builder = name_builder
+        self.positions = positions
+        self.key_builders = key_builders
+        # Fast path: every key part is a bare register read (the common
+        # case), so the probe key is a straight register gather.
+        self.key_slots = (
+            tuple(key_builders)
+            if key_builders and all(type(b) is int for b in key_builders)
+            else None
+        )
+        # Fastest path: the key covers every argument position, so the whole
+        # atom is determined by the registers and the "fetch" is a single
+        # membership probe — no index is ever materialized for it.
+        self.membership = arity >= 0 and len(positions) == arity
+        # Single-register key for a non-membership probe: the index is keyed
+        # by the bare term, so the probe key is one register read.
+        self.key_single = (
+            self.key_slots[0]
+            if self.key_slots is not None and len(self.key_slots) == 1
+            and not self.membership
+            else None
+        )
+        self.name_check = name_check
+        self.match_ops = match_ops
+        self.reset_slots = reset_slots
+        self.prop = prop
+
+
+class RNeg:
+    """A compiled negation check: build the ground atom, test membership."""
+
+    __slots__ = ("kind", "builder")
+
+    def __init__(self, builder):
+        self.kind = R_NEG
+        self.builder = builder
+
+
+class RBuiltin:
+    """A compiled builtin: numeric fast path or a substitution bridge."""
+
+    __slots__ = ("kind", "atom", "in_pairs", "out_pairs", "compare")
+
+    def __init__(self, atom, in_pairs, out_pairs, compare):
+        self.kind = R_BUILTIN
+        self.atom = atom
+        self.in_pairs = in_pairs
+        self.out_pairs = out_pairs
+        self.compare = compare
+
+
+class RegisterProgram(NamedTuple):
+    """A join plan lowered to a flat register machine."""
+
+    #: Number of registers (one per numbered rule variable).
+    nregs: int
+    #: Variable -> register index (also used by the structural matcher).
+    slot_of: Dict
+    #: Ops executed in order; each either fails or binds its output slots.
+    ops: Tuple
+    #: Builder for the rule head (reads registers; used on the fast path).
+    head_builder: object
+    #: ``(var, slot)`` pairs bound once all ops succeed, for bridging to a
+    #: :class:`Substitution` on the aggregate/deferred-builtin slow path.
+    bridge: Tuple
+    #: True when the plan has no aggregates and no deferred builtins, so
+    #: heads can be built straight from registers.
+    fast: bool
+    #: ``(ground name, argument slots)`` when the head is a flat application
+    #: of bound variables — the head is then one register gather + one
+    #: intern probe.  ``None`` otherwise.
+    head_fast: Optional[Tuple]
+
+
+def build_term(builder, regs):
+    """Materialize a compiled term builder against the registers.
+
+    Builders are ground :class:`Term` constants (returned as-is), ``int``
+    register reads, or ``(name_builder, arg_builders)`` application nodes.
+    Unbound variables survive as :class:`Var` constants, so callers can
+    detect non-ground results with the cached groundness bit.
+    """
+    kind = type(builder)
+    if kind is int:
+        return regs[builder]
+    if kind is tuple:
+        return App(
+            build_term(builder[0], regs),
+            tuple(build_term(part, regs) for part in builder[1]),
+        )
+    return builder
+
+
+def _compile_builder(term, bound, slot):
+    """Compile ``term`` into a builder; variables in ``bound`` become
+    register reads, other variables stay as constants (non-ground output)."""
+    if term.is_ground():
+        return term
+    if type(term) is Var:
+        return slot(term) if term in bound else term
+    return (
+        _compile_builder(term.name, bound, slot),
+        tuple(_compile_builder(arg, bound, slot) for arg in term.args),
+    )
+
+
+def _compile_fetch(step, bound, slot):
+    """Compile one FETCH step against the running bound-variable set."""
+    atom = step.literal.atom
+    if not isinstance(atom, App):
+        # Propositional subgoal: a ground symbol, or a bare variable.
+        if atom.is_ground():
+            prop = (0, atom)
+        else:
+            prop = (1, slot(atom), atom in bound)
+        return RFetch(step, -1, None, None, (), (), None, (), (), prop)
+
+    arity = len(atom.args)
+    name = atom.name
+    reset_slots = []
+    written = set()
+    if name.is_ground():
+        const_name = name
+        name_builder = None
+        name_check = (N_IDENT,)
+    else:
+        const_name = None
+        name_builder = _compile_builder(name, bound, slot)
+        if type(name) is Var and name not in bound:
+            name_check = (N_WRITE, slot(name))
+            written.add(name)
+        elif name.variables() <= bound:
+            name_check = (N_IDENT,)
+        else:
+            new = name.variables() - bound
+            written |= new
+            reset_slots.extend(slot(v) for v in new)
+            name_check = (N_STRUCT, name)
+
+    key_builders = tuple(
+        _compile_builder(atom.args[i], bound, slot) for i in step.index_positions
+    )
+
+    match_ops = []
+    for i, arg in enumerate(atom.args):
+        if arg.is_ground():
+            match_ops.append((M_CONST, i, arg))
+        elif type(arg) is Var:
+            if arg in bound or arg in written:
+                match_ops.append((M_CHECK, i, slot(arg)))
+            else:
+                match_ops.append((M_WRITE, i, slot(arg)))
+                written.add(arg)
+        else:
+            new = arg.variables() - bound - written
+            written |= new
+            reset_slots.extend(slot(v) for v in new)
+            match_ops.append((M_STRUCT, i, arg))
+
+    return RFetch(
+        step, arity, const_name, name_builder, step.index_positions,
+        key_builders, name_check, tuple(match_ops), tuple(reset_slots), None,
+    )
+
+
+def _compile_builtin(step, bound, slot):
+    """Compile one BUILTIN step: numeric fast path when both operands are
+    registers/number constants, substitution bridge otherwise."""
+    atom = step.literal.atom
+    compare = None
+    if (
+        isinstance(atom, App)
+        and isinstance(atom.name, Sym)
+        and len(atom.args) == 2
+        and atom.name.name in COMPARE_OPS
+    ):
+        codes = []
+        for operand in atom.args:
+            if type(operand) is Num:
+                codes.append(operand)
+            elif type(operand) is Var and operand in bound:
+                codes.append(slot(operand))
+            else:
+                codes = None
+                break
+        if codes is not None:
+            compare = (COMPARE_OPS[atom.name.name], codes[0], codes[1])
+
+    in_pairs = tuple(
+        sorted(((v, slot(v)) for v in atom.variables() & bound),
+               key=lambda pair: pair[1])
+    )
+    out_pairs = ()
+    if (
+        isinstance(atom, App)
+        and isinstance(atom.name, Sym)
+        and atom.name.name in ("is", "=")
+        and len(atom.args) == 2
+    ):
+        left, right = atom.args
+        if type(left) is Var and left not in bound and right.variables() <= bound:
+            out_pairs = ((left, slot(left)),)
+        elif (
+            atom.name.name == "="
+            and type(right) is Var
+            and right not in bound
+            and left.variables() <= bound
+        ):
+            out_pairs = ((right, slot(right)),)
+    return RBuiltin(atom, in_pairs, out_pairs, compare)
+
+
+def _bind_after(step, bound):
+    """Extend ``bound`` with the variables the step binds at runtime (the
+    same rule :func:`_order_body`'s ``bind`` applies during scheduling)."""
+    literal = step.literal
+    if step.kind == BUILTIN:
+        atom = literal.atom
+        if (
+            isinstance(atom, App)
+            and isinstance(atom.name, Sym)
+            and atom.name.name in ("is", "=")
+            and len(atom.args) == 2
+        ):
+            left, right = atom.args
+            if type(left) is Var and right.variables() <= bound:
+                bound.add(left)
+            elif type(right) is Var and left.variables() <= bound:
+                bound.add(right)
+        return
+    if step.kind == FETCH:
+        bound.update(literal.atom.variables())
+
+
+def _compile_registers(rule, steps, deferred, aggregates, initially_bound):
+    """Lower an ordered plan into a :class:`RegisterProgram`."""
+    slot_of = {}
+
+    def slot(variable):
+        index = slot_of.get(variable)
+        if index is None:
+            index = len(slot_of)
+            slot_of[variable] = index
+        return index
+
+    # Pre-bound (head-bound) variables get the lowest slots, in name order,
+    # so rederivation bindings land deterministically.
+    for variable in sorted(initially_bound, key=lambda v: v.name):
+        slot(variable)
+
+    bound = set(initially_bound)
+    ops = []
+    for step in steps:
+        if step.kind == FETCH:
+            ops.append(_compile_fetch(step, bound, slot))
+        elif step.kind == NEGATION:
+            ops.append(RNeg(_compile_builder(step.literal.atom, bound, slot)))
+        else:
+            ops.append(_compile_builtin(step, bound, slot))
+        _bind_after(step, bound)
+
+    head_builder = _compile_builder(rule.head, bound, slot)
+    head = rule.head
+    head_fast = None
+    if (
+        isinstance(head, App)
+        and head.name.is_ground()
+        and all(type(arg) is Var and arg in bound for arg in head.args)
+    ):
+        head_fast = (head.name, tuple(slot_of[arg] for arg in head.args))
+    bridge = tuple(
+        sorted(((v, slot_of[v]) for v in bound if v in slot_of),
+               key=lambda pair: pair[1])
+    )
+    return RegisterProgram(
+        nregs=len(slot_of),
+        slot_of=slot_of,
+        ops=tuple(ops),
+        head_builder=head_builder,
+        bridge=bridge,
+        fast=not deferred and not aggregates,
+        head_fast=head_fast,
+    )

@@ -75,18 +75,29 @@ class Relation:
     def __iter__(self):
         return iter(self.facts)
 
+    # Single-position indexes are keyed by the bare argument term (whose
+    # hash is cached by interning); multi-position indexes by the argument
+    # tuple.  Callers pass keys in the same shape (the join compiler and
+    # ``RelationStore.candidates`` both do).
+
     def add(self, atom):
         """Insert a fact (assumed new — membership lives in the store)."""
         self.facts[atom] = None
         for positions, table in self._indexes.items():
-            key = tuple(atom.args[i] for i in positions)
+            if len(positions) == 1:
+                key = atom.args[positions[0]]
+            else:
+                key = tuple(atom.args[i] for i in positions)
             table.setdefault(key, {})[atom] = None
 
     def remove(self, atom):
         """Delete a fact (assumed present), maintaining every index."""
         del self.facts[atom]
         for positions, table in self._indexes.items():
-            key = tuple(atom.args[i] for i in positions)
+            if len(positions) == 1:
+                key = atom.args[positions[0]]
+            else:
+                key = tuple(atom.args[i] for i in positions)
             bucket = table.get(key)
             if bucket is not None:
                 bucket.pop(atom, None)
@@ -94,8 +105,9 @@ class Relation:
                     del table[key]
 
     def lookup(self, positions, key):
-        """Facts whose arguments at ``positions`` equal ``key`` (a tuple of
-        ground terms).  Builds the index for ``positions`` on first use.
+        """Facts whose arguments at ``positions`` equal ``key`` (a bare term
+        for single-position indexes, a term tuple otherwise).  Builds the
+        index for ``positions`` on first use.
 
         Returns a fresh list so callers may mutate the relation while
         iterating over the result (the semi-naive loop adds facts mid-scan).
@@ -105,9 +117,14 @@ class Relation:
         table = self._indexes.get(positions)
         if table is None:
             table = {}
-            for atom in self.facts:
-                fact_key = tuple(atom.args[i] for i in positions)
-                table.setdefault(fact_key, {})[atom] = None
+            if len(positions) == 1:
+                position = positions[0]
+                for atom in self.facts:
+                    table.setdefault(atom.args[position], {})[atom] = None
+            else:
+                for atom in self.facts:
+                    fact_key = tuple(atom.args[i] for i in positions)
+                    table.setdefault(fact_key, {})[atom] = None
             self._indexes[positions] = table
         bucket = table.get(key)
         return list(bucket) if bucket is not None else ()
@@ -115,6 +132,131 @@ class Relation:
     def index_count(self):
         """Number of indexes materialized so far (for diagnostics)."""
         return len(self._indexes)
+
+
+class DeltaStore:
+    """A lightweight per-iteration delta: facts bucketed by indicator.
+
+    The semi-naive loop rebuilds its delta source every iteration; a full
+    :class:`RelationStore` (membership set, support counts, index
+    maintenance) is wasted work for a collection that is only ever scanned
+    whole per indicator.  Fetches ignore the index key — the register
+    executor's match instructions verify every argument position anyway —
+    but are *exact* per indicator, so variant plans anchored on predicates
+    absent from the delta cost one empty dictionary probe.
+    """
+
+    __slots__ = ("_buckets", "_count")
+
+    def __init__(self, facts=()):
+        buckets = {}
+        count = 0
+        for atom in facts:
+            buckets.setdefault(predicate_indicator(atom), []).append(atom)
+            count += 1
+        self._buckets = buckets
+        self._count = count
+
+    def __len__(self):
+        return self._count
+
+    def fetch(self, name, arity, positions, key):
+        return self._buckets.get((name, arity), ()), True
+
+    def spill(self, arity, symbol):
+        result = []
+        for (name, bucket_arity), facts in self._buckets.items():
+            if bucket_arity != arity:
+                continue
+            if symbol is not None and outermost_symbol(name) is not symbol:
+                continue
+            result.extend(facts)
+        return result, False
+
+    def all_facts(self):
+        result = []
+        for facts in self._buckets.values():
+            result.extend(facts)
+        return result, False
+
+    def __contains__(self, atom):
+        bucket = self._buckets.get(predicate_indicator(atom))
+        return bucket is not None and atom in bucket
+
+
+class SignedStore:
+    """A mutable indicator-bucketed fact set for maintenance deltas.
+
+    :class:`~repro.db.maintenance.Delta` records every fact that flips truth
+    value during an update; with a full :class:`RelationStore` each record
+    pays membership-set, support-count and index bookkeeping that a delta
+    never uses.  This store keeps one ``{atom: None}`` dict per indicator —
+    O(1) add/remove/membership — and serves the register executor's fetch
+    protocol by listing the relevant bucket.
+    """
+
+    __slots__ = ("_buckets", "_count")
+
+    def __init__(self):
+        self._buckets = {}
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    def __iter__(self):
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    def __contains__(self, atom):
+        indicator = (atom.name, len(atom.args)) if type(atom) is App else (atom, -1)
+        bucket = self._buckets.get(indicator)
+        return bucket is not None and atom in bucket
+
+    def add(self, atom):
+        indicator = (atom.name, len(atom.args)) if type(atom) is App else (atom, -1)
+        bucket = self._buckets.setdefault(indicator, {})
+        if atom in bucket:
+            return False
+        bucket[atom] = None
+        self._count += 1
+        return True
+
+    def remove(self, atom):
+        indicator = (atom.name, len(atom.args)) if type(atom) is App else (atom, -1)
+        bucket = self._buckets.get(indicator)
+        if bucket is None or atom not in bucket:
+            return False
+        del bucket[atom]
+        if not bucket:
+            del self._buckets[indicator]
+        self._count -= 1
+        return True
+
+    def has_facts(self, name, arity):
+        return (name, arity) in self._buckets
+
+    def fetch(self, name, arity, positions, key):
+        bucket = self._buckets.get((name, arity))
+        # Listed (not iterated live) because callers may record into the
+        # delta while a plan over it is still running.
+        return (list(bucket) if bucket else ()), True
+
+    def spill(self, arity, symbol):
+        result = []
+        for (name, bucket_arity), bucket in self._buckets.items():
+            if bucket_arity != arity:
+                continue
+            if symbol is not None and outermost_symbol(name) is not symbol:
+                continue
+            result.extend(bucket)
+        return result, False
+
+    def all_facts(self):
+        result = []
+        for bucket in self._buckets.values():
+            result.extend(bucket)
+        return result, False
 
 
 class RelationStore:
@@ -234,6 +376,41 @@ class RelationStore:
             for atom in relation.facts:
                 yield atom
 
+    # -- register-executor fetch protocol -----------------------------------
+    #
+    # The register executor (repro.engine.seminaive.engine) resolves its own
+    # indicators and index keys from registers, so these entry points skip
+    # the Substitution machinery entirely.  Each returns ``(facts, exact)``
+    # where ``exact`` promises every fact is an application of the requested
+    # indicator (letting the executor skip per-candidate name/arity checks).
+    # Because terms are hash-consed, indicator and index keys compare by
+    # identity — every probe is one hash lookup over interned pointers.
+
+    def fetch(self, name, arity, positions, key):
+        """Facts of the ``(name, arity)`` indicator whose arguments at
+        ``positions`` equal ``key`` (both precomputed by the compiler)."""
+        relation = self._relations.get((name, arity))
+        if relation is None:
+            return (), True
+        if positions:
+            return relation.lookup(positions, key), True
+        return list(relation.facts), True
+
+    def spill(self, arity, symbol):
+        """Facts of every relation of ``arity``, narrowed to relations whose
+        name has outermost symbol ``symbol`` when one is known (the
+        higher-order non-ground-name path)."""
+        result = []
+        for relation in self._by_arity.get(arity, ()):
+            if symbol is not None and outermost_symbol(relation.indicator[0]) is not symbol:
+                continue
+            result.extend(relation.facts)
+        return result, False
+
+    def all_facts(self):
+        """Every stored atom (the unbound propositional-variable scan)."""
+        return list(self._members), False
+
     def candidates(self, pattern, subst, index_positions=()):
         """Facts that could match ``pattern`` under ``subst``.
 
@@ -262,6 +439,8 @@ class RelationStore:
             if index_positions:
                 key = tuple(subst.apply(pattern.args[i]) for i in index_positions)
                 if all(part.is_ground() for part in key):
+                    if len(index_positions) == 1:
+                        return relation.lookup(index_positions, key[0])
                     return relation.lookup(index_positions, key)
             return list(relation.facts)
 

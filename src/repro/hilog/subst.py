@@ -30,7 +30,7 @@ class Substitution:
                 raise TypeError("substitution keys must be Var, got %r" % (variable,))
             if not isinstance(value, Term):
                 raise TypeError("substitution values must be Term, got %r" % (value,))
-            if value != variable:
+            if value is not variable:
                 clean[variable] = value
         self._bindings = clean
 
@@ -100,20 +100,60 @@ class Substitution:
             current = self._bindings[current]
         return current
 
-    def apply(self, term):
-        """Apply the substitution to ``term``, producing a new term."""
-        if isinstance(term, Var):
-            value = self.resolve(term)
-            if isinstance(value, Var):
-                return value
-            return self.apply(value)
-        if isinstance(term, App):
-            new_name = self.apply(term.name)
-            new_args = tuple(self.apply(arg) for arg in term.args)
-            if new_name == term.name and new_args == term.args:
-                return term
-            return App(new_name, new_args)
+    def _deref(self, term):
+        """Follow variable bindings without allocating a seen-set; bounded by
+        the binding count so accidental cycles terminate (like ``resolve``)."""
+        bindings = self._bindings
+        hops = len(bindings)
+        while type(term) is Var:
+            value = bindings.get(term)
+            if value is None or hops < 0:
+                break
+            term = value
+            hops -= 1
         return term
+
+    def apply(self, term):
+        """Apply the substitution to ``term``, producing a new term.
+
+        Implemented with an explicit stack (no recursion) so the deeply
+        nested terms of non-strongly-range-restricted programs — which the
+        ``terms.py`` traversals already handle iteratively — cannot hit
+        Python's recursion limit here either.  Ground subterms are returned
+        as-is via the cached groundness bit, without being traversed.
+        """
+        bindings = self._bindings
+        if not bindings or term.is_ground():
+            return term
+        term = self._deref(term)
+        if type(term) is not App:
+            return term
+        if term.is_ground():
+            return term
+        # Post-order rebuild: VISIT pushes children, BUILD pops their results.
+        out = []
+        work = [(term, False)]
+        while work:
+            node, build = work.pop()
+            if build:
+                count = len(node.args)
+                name = out.pop()
+                args = tuple(out.pop() for _ in range(count))
+                if name is node.name and args == node.args:
+                    out.append(node)
+                else:
+                    out.append(App(name, args))
+                continue
+            if type(node) is Var:
+                node = self._deref(node)
+            if type(node) is App and not node.is_ground():
+                work.append((node, True))
+                work.append((node.name, False))
+                for arg in node.args:
+                    work.append((arg, False))
+            else:
+                out.append(node)
+        return out[0]
 
     # -- construction -------------------------------------------------------
     def bind(self, variable, value):

@@ -6,7 +6,12 @@ and if ``t, t1, ..., tn`` are terms then so is the application ``t(t1,...,tn)``
 for every ``n >= 0``.  Terms and atoms coincide; the Herbrand base and the
 Herbrand universe are the same set.
 
-Terms are immutable, hashable and interned-friendly.  Three constructors:
+Terms are immutable, hashable and **hash-consed**: every constructor interns
+its result in a global table keyed by structure, so two structurally equal
+terms are always the *same object*.  Equality is therefore pointer equality
+(``a == b`` iff ``a is b``) and the evaluation engines' hot loops — index
+probes, join matches, set membership — compare and hash terms in O(1)
+regardless of term size.  Three constructors:
 
 * :class:`Var` — a logical variable (``X``, ``Y``, ``Rest``).
 * :class:`Sym` — an atomic symbol (``p``, ``move``, ``a``); :class:`Num` is a
@@ -16,11 +21,43 @@ Terms are immutable, hashable and interned-friendly.  Three constructors:
   argument terms; ``p(a)(X, b)`` is ``App(App(Sym('p'), (Sym('a'),)),
   (Var('X'), Sym('b')))``.  Zero-ary applications ``p()`` are permitted and
   distinct from the bare symbol ``p`` (footnote 1 of the paper).
+
+Because terms are built bottom-up, an :class:`App`'s children are already
+interned when it is constructed, so its intern key ``(name,) + args`` hashes
+with the children's cached hashes and compares by identity — one dictionary
+probe per construction.  Hash values keep the pre-interning structural
+formulas, so iteration orders (and hence printed outputs) are unchanged.
+
+The intern tables hold strong references and are never evicted: memory
+grows with the set of *distinct terms ever built in the process*.  The
+engines' per-evaluation resource caps bound each evaluation's term volume,
+but a long-lived :class:`~repro.db.session.DatabaseSession` churning over
+ever-fresh constants (timestamps, ids) accretes interned terms even after
+the facts are retracted.  Monitor with :func:`intern_table_sizes`; weak
+intern tables (or generation-scoped eviction) are a known follow-up for
+long-running serving processes.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Set, Tuple, Union
+
+#: Global intern (hash-consing) tables, one per constructor.  Num gets its
+#: own table so ``Num(1)`` and ``Sym("1")`` stay distinct objects.
+_VAR_INTERN = {}
+_SYM_INTERN = {}
+_NUM_INTERN = {}
+_APP_INTERN = {}
+
+
+def intern_table_sizes():
+    """Diagnostic: the number of live interned terms per constructor."""
+    return {
+        "var": len(_VAR_INTERN),
+        "sym": len(_SYM_INTERN),
+        "num": len(_NUM_INTERN),
+        "app": len(_APP_INTERN),
+    }
 
 
 class Term:
@@ -65,22 +102,29 @@ class Term:
 class Var(Term):
     """A logical variable.
 
-    Variables compare by name: two ``Var('X')`` objects are equal.  The
-    parser produces names starting with an upper-case letter or underscore;
-    programmatically constructed variables may use any string.
+    Variables are interned by name: two ``Var('X')`` calls return the same
+    object, so equality is identity.  The parser produces names starting
+    with an upper-case letter or underscore; programmatically constructed
+    variables may use any string.
     """
 
     __slots__ = ("name", "_hash")
 
-    def __init__(self, name):
+    def __new__(cls, name):
+        self = _VAR_INTERN.get(name)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_hash", hash(("var", name)))
+        _VAR_INTERN[name] = self
+        return self
 
     def __setattr__(self, key, value):
         raise AttributeError("Var is immutable")
 
     def __eq__(self, other):
-        return isinstance(other, Var) and other.name == self.name
+        return self is other
 
     def __hash__(self):
         return self._hash
@@ -111,15 +155,21 @@ class Sym(Term):
 
     __slots__ = ("name", "_hash")
 
-    def __init__(self, name):
+    def __new__(cls, name):
+        self = _SYM_INTERN.get(name)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_hash", hash(("sym", name)))
+        _SYM_INTERN[name] = self
+        return self
 
     def __setattr__(self, key, value):
         raise AttributeError("Sym is immutable")
 
     def __eq__(self, other):
-        return isinstance(other, Sym) and other.name == self.name and type(other) is type(self)
+        return self is other
 
     def __hash__(self):
         return self._hash
@@ -150,15 +200,23 @@ class Num(Sym):
 
     __slots__ = ("value",)
 
-    def __init__(self, value):
-        super().__init__(str(int(value)))
-        object.__setattr__(self, "value", int(value))
+    def __new__(cls, value):
+        value = int(value)
+        self = _NUM_INTERN.get(value)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        object.__setattr__(self, "name", str(value))
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("num", value)))
+        _NUM_INTERN[value] = self
+        return self
 
     def __eq__(self, other):
-        return isinstance(other, Num) and other.value == self.value
+        return self is other
 
     def __hash__(self):
-        return hash(("num", self.value))
+        return self._hash
 
 
 class App(Term):
@@ -169,38 +227,52 @@ class App(Term):
     higher-order flavour, e.g. ``G(X, Y)`` or ``winning(M)(X)``).
 
     Hashing and groundness are the hot inner loops of every set/dict the
-    engines use, so both are memoized in slots at construction.  Because
-    terms are built bottom-up, each construction only consults the (already
-    cached) values of its immediate children, making ``hash`` and
-    ``is_ground`` O(1) after construction instead of O(term size) per call.
+    engines use, so both are memoized in slots at construction, and the
+    application itself is hash-consed: since children are already interned,
+    the intern key ``(name,) + args`` hashes with cached child hashes and
+    compares by identity, so re-building an existing application is a single
+    dictionary probe that returns the canonical object.
     """
 
-    __slots__ = ("name", "args", "_hash", "_ground")
+    __slots__ = ("name", "args", "_hash", "_ground", "_depth")
 
-    def __init__(self, name, args=()):
+    def __new__(cls, name, args=()):
         if not isinstance(name, Term):
             raise TypeError("App name must be a Term, got %r" % (name,))
         args = tuple(args)
+        key = (name,) + args
+        try:
+            self = _APP_INTERN.get(key)
+        except TypeError:
+            self = None  # unhashable non-Term argument; diagnosed below
+        if self is not None:
+            return self
         for arg in args:
             if not isinstance(arg, Term):
                 raise TypeError("App argument must be a Term, got %r" % (arg,))
+        self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "args", args)
         object.__setattr__(self, "_hash", hash(("app", name, args)))
         object.__setattr__(
             self, "_ground", name.is_ground() and all(arg.is_ground() for arg in args)
         )
+        # Children are already interned (hence their depths cached), so the
+        # nesting depth memoizes bottom-up in O(arity) at construction.
+        depth = name.depth()
+        for arg in args:
+            arg_depth = arg.depth()
+            if arg_depth > depth:
+                depth = arg_depth
+        object.__setattr__(self, "_depth", depth + 1)
+        _APP_INTERN[key] = self
+        return self
 
     def __setattr__(self, key, value):
         raise AttributeError("App is immutable")
 
     def __eq__(self, other):
-        return (
-            isinstance(other, App)
-            and other._hash == self._hash
-            and other.name == self.name
-            and other.args == self.args
-        )
+        return self is other
 
     def __hash__(self):
         return self._hash
@@ -242,21 +314,7 @@ class App(Term):
         return result
 
     def depth(self):
-        max_depth = 0
-        stack = [(self, 0)]
-        while stack:
-            node, depth = stack.pop()
-            if isinstance(node, App):
-                stack.append((node.name, depth + 1))
-                for arg in node.args:
-                    stack.append((arg, depth + 1))
-            else:
-                if depth > max_depth:
-                    max_depth = depth
-        # An App with no children pushed still contributes its own level.
-        if isinstance(self, App) and max_depth == 0:
-            return 1
-        return max_depth
+        return self._depth
 
     def size(self):
         count = 0
@@ -277,6 +335,18 @@ class App(Term):
 # The list constructor symbols used by the parser's [H|T] sugar.
 CONS = Sym("$cons")
 NIL = Sym("$nil")
+
+
+def intern_app(name, args):
+    """Hot-path :class:`App` construction: one intern probe, no validation.
+
+    ``name`` and every element of ``args`` (a tuple) must already be
+    :class:`Term`\\ s; the register executor's builders guarantee this.
+    """
+    cached = _APP_INTERN.get((name,) + args)
+    if cached is not None:
+        return cached
+    return App(name, args)
 
 
 def sym(name):

@@ -26,7 +26,7 @@ def _occurs(variable, term, bindings):
         while isinstance(current, Var) and current in bindings:
             current = bindings[current]
         if isinstance(current, Var):
-            if current == variable:
+            if current is variable:
                 return True
         elif isinstance(current, App):
             stack.append(current.name)
@@ -53,7 +53,7 @@ def unify(left, right, subst=None, occurs_check=True):
         a, b = stack.pop()
         a = _walk(a, bindings)
         b = _walk(b, bindings)
-        if a == b:
+        if a is b:  # interned terms: structural equality is identity
             continue
         if isinstance(a, Var):
             if occurs_check and _occurs(a, b, bindings):
@@ -106,7 +106,7 @@ def match(pattern, ground, subst=None):
         if isinstance(a, Var):
             bindings[a] = b
             continue
-        if a == b:
+        if a is b:  # interned terms: structural equality is identity
             continue
         if isinstance(a, App) and isinstance(b, App):
             if len(a.args) != len(b.args):
@@ -139,6 +139,6 @@ def variant(left, right):
             stack.append((a.name, b.name))
             stack.extend(zip(a.args, b.args))
             continue
-        if a != b:
+        if a is not b:
             return False
     return True
