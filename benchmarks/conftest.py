@@ -1,4 +1,5 @@
-"""Benchmark-suite configuration: make the package importable from source."""
+"""Benchmark-suite configuration: make the package importable from source,
+and isolate the global execution counters between benchmarks."""
 
 import os
 import sys
@@ -6,3 +7,17 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.engine.seminaive import EXECUTION_STATS
+
+
+@pytest.fixture(autouse=True)
+def _reset_execution_stats():
+    """Zero the register executor's global fetch/candidate counters before
+    every benchmark, so one benchmark's join volume never skews another's
+    recorded attribution (they are also flushed by every intern-table
+    collection)."""
+    EXECUTION_STATS.reset()
+    yield

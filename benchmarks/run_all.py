@@ -48,8 +48,9 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
 
 #: The subset exercised by the CI smoke step: the incremental-maintenance
-#: acceptance benchmark (fast, asserts the speedup bar).
-SMOKE = ("bench_e11_incremental.py",)
+#: acceptance benchmark and the intern-table memory gate (both fast, both
+#: assert their acceptance bars — speedup and bounded memory).
+SMOKE = ("bench_e11_incremental.py", "bench_e12_memory.py")
 
 
 def discover(only=None, smoke=False):

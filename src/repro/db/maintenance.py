@@ -78,6 +78,13 @@ class Delta:
     def is_empty(self):
         return not len(self.added) and not len(self.removed)
 
+    def pin_roots(self):
+        """Both signed sides' atoms, for intern-generation pin sets — a
+        caller retaining a delta past the update that produced it (audit
+        logs, change feeds) pins it across collections this way."""
+        yield from self.added.pin_roots()
+        yield from self.removed.pin_roots()
+
     def touches(self, indicators):
         """Whether the delta contains facts of any of the given predicate
         indicators (``None`` means "unknowable reads" — always true)."""

@@ -95,6 +95,15 @@ class MaintenancePlans(NamedTuple):
             return True
         return indicator in self.stratum.head_indicators
 
+    def pin_roots(self):
+        """Term roots the maintenance bundle retains, for intern-generation
+        pin sets.  The update/negation variants, rederivation plans and
+        compiled membership builders are all compiled from the stratum's
+        rules — the flipped negation variants reuse the original atom
+        objects — so the stratum's rule roots cover every constant any of
+        the bundled register programs holds."""
+        return self.stratum.pin_roots()
+
 
 def build_maintenance_plans(rules, recursive):
     """Compile the maintenance bundle for one stratum.

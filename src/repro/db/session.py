@@ -41,6 +41,8 @@ all.
 
 from __future__ import annotations
 
+import weakref
+
 from typing import NamedTuple, Tuple
 
 from repro.core.magic.evaluate import answer_from_store
@@ -65,7 +67,15 @@ from repro.engine.seminaive.relation import RelationStore, predicate_indicator
 from repro.hilog.errors import GroundingError, HiLogError
 from repro.hilog.parser import parse_program, parse_query, parse_term
 from repro.hilog.program import Literal, Program, Rule
-from repro.hilog.terms import Term
+from repro.hilog.terms import (
+    Term,
+    collect_generation,
+    current_generation,
+    intern_generation,
+    intern_table_sizes,
+    register_flush_hook,
+    register_pin_provider,
+)
 
 #: Session evaluation modes.
 INCREMENTAL = "incremental"
@@ -106,16 +116,19 @@ class Transaction:
         self._session = session
         self._ops = []
         self._result = None
+        # Tracked (weakly) so the session's pin provider keeps staged atoms
+        # interned if an intern collection runs between staging and commit.
+        session._transactions.add(self)
 
     def insert(self, facts):
         """Stage assertions."""
-        for atom in self._session._coerce_facts(facts):
+        for atom in self._session._coerce_in_generation(facts):
             self._ops.append(("insert", atom))
         return self
 
     def retract(self, facts):
         """Stage retractions."""
-        for atom in self._session._coerce_facts(facts):
+        for atom in self._session._coerce_in_generation(facts):
             self._ops.append(("retract", atom))
         return self
 
@@ -127,7 +140,10 @@ class Transaction:
         inserts = [atom for atom, action in final.items() if action == "insert"]
         retracts = [atom for atom, action in final.items() if action == "retract"]
         self._ops = []
-        self._result = self._session._apply(inserts, retracts)
+        session = self._session
+        with intern_generation():
+            self._result = session._apply(inserts, retracts)
+        session._after_update(self._result)
         return self._result
 
     def rollback(self):
@@ -163,15 +179,38 @@ class DatabaseSession:
             :class:`~repro.engine.seminaive.SeminaiveUnsupported` outside
             the class) or ``"recompute"``.
         max_facts / max_term_depth: the engine's resource caps.
+        intern_gc: when set to a positive integer N, the session sweeps the
+            term intern tables (:meth:`collect`) automatically after every N
+            updates, bounding intern memory under fact churn.  ``None``
+            (the default) never collects automatically — call
+            :meth:`collect` yourself for long-lived serving processes.
+
+    Every update runs inside an **intern generation**
+    (:mod:`repro.hilog.terms`), so the transient terms it builds — parsed
+    fact strings, over-deleted candidates, rederivation probes — and the
+    fresh constants of since-retracted facts are evictable by
+    :meth:`collect`.  The session registers a pin provider covering its
+    store, EDB, rules, compiled plans and staged transactions, so
+    collection (from this session or any other) never evicts a term the
+    session still reaches.  Terms handed *out* of the session (query
+    answers, update summaries) are only guaranteed canonical while the
+    session still reaches them — the pending update's summary is pinned
+    through its own automatic sweep, but atoms held from *earlier*
+    summaries or since-retracted answers must be retained explicitly:
+    :meth:`pin` them (works under ``intern_gc`` too), pass them to a
+    manual ``collect(pins=...)``, or simply re-obtain them at top level
+    (intern hits outside a generation promote the term to immortal).
     """
 
     def __init__(self, program, strategy="auto", max_facts=1000000,
-                 max_term_depth=None):
+                 max_term_depth=None, intern_gc=None):
         if strategy not in ("auto", INCREMENTAL, RECOMPUTE_MODE):
             raise ValueError(
                 "unknown strategy %r (use 'auto', 'incremental' or 'recompute')"
                 % (strategy,)
             )
+        if intern_gc is not None and (not isinstance(intern_gc, int) or intern_gc <= 0):
+            raise ValueError("intern_gc must be None or a positive integer")
         if isinstance(program, str):
             program = parse_program(program)
         self._rules = Program(tuple(program.proper_rules()))
@@ -221,7 +260,18 @@ class DatabaseSession:
         self._version = 0
         self._program_cache = None
         self._store = None
+        self._intern_gc_every = intern_gc
+        self._updates_since_collect = 0
+        self._transactions = weakref.WeakSet()
+        self._pinned = {}
         self._materialize()
+        # Registered weakly, and only once construction has succeeded: the
+        # registry never keeps the session alive, a dead session's
+        # pins/flushes drop out of collection automatically, and a session
+        # whose materialization raised (the exception traceback can keep the
+        # half-built object alive) never participates in collections.
+        self._pin_handle = register_pin_provider(self._intern_pin_roots)
+        self._flush_handle = register_flush_hook(self._flush_parse_cache)
 
     # -- materialization ----------------------------------------------------
 
@@ -301,19 +351,127 @@ class DatabaseSession:
             self._parse_cache[facts] = tuple(atoms)
         return atoms
 
+    def _coerce_in_generation(self, facts):
+        """Coerce staged facts inside a (short) intern generation, so parse
+        transients stay evictable even when staging and commit straddle a
+        collection (the staged atoms themselves are pinned through the
+        session's transaction registry)."""
+        with intern_generation():
+            return self._coerce_facts(facts)
+
+    # -- intern-table housekeeping ------------------------------------------
+
+    def _intern_pin_roots(self):
+        """Root terms this session retains — the pin set every intern
+        collection must keep: stored atoms (IDB + EDB), asserted facts,
+        rule terms (covering every compiled-plan constant), and the atoms
+        staged in live transactions."""
+        yield from self._store.pin_roots()
+        yield from self._edb
+        yield from self._pinned
+        yield from self._rules.pin_roots()
+        if self._plans is not None:
+            for plans in self._plans:
+                yield from plans.pin_roots()
+        for transaction in tuple(self._transactions):
+            for _action, atom in transaction._ops:
+                yield atom
+
+    def _flush_parse_cache(self):
+        """Flush-hook target: drop memoized fact-string parses so the cache
+        neither pins evicted-generation atoms nor hands out stale (formerly
+        canonical) objects after a collection."""
+        self._parse_cache.clear()
+
+    def _after_update(self, result):
+        """Post-update bookkeeping: trigger the automatic intern sweep when
+        ``intern_gc`` is configured (skipped while any generation is open —
+        an enclosing computation's terms are not yet pinnable).  The
+        update's own summary is pinned through the sweep: its removed atoms
+        just left the store, but the caller has not even received them yet,
+        so evicting them here would hand back stale twins."""
+        self._updates_since_collect += 1
+        every = self._intern_gc_every
+        if every is not None and self._updates_since_collect >= every \
+                and current_generation() == 0:
+            self.collect(pins=result.added + result.removed)
+
+    def pin(self, terms):
+        """Keep ``terms`` (a :class:`~repro.hilog.terms.Term` or an iterable
+        of them) canonical across every future collection, including the
+        automatic ``intern_gc`` sweeps, until :meth:`unpin`.
+
+        This is the retention mechanism for results the session handed out
+        — :class:`UpdateSummary` atoms, since-retracted query answers —
+        that a caller keeps beyond the next update: automatic sweeps pin
+        only the *pending* update's summary, so older held atoms would
+        otherwise be evicted and stop matching the live model (terms
+        compare by identity).  Re-obtaining a term at top level (parsing
+        its text while no generation is open) promotes it to immortal and
+        is the zero-bookkeeping alternative.
+        """
+        if isinstance(terms, Term):
+            terms = (terms,)
+        for term in terms:
+            if not isinstance(term, Term):
+                raise TypeError("pin() takes Terms, got %r" % (term,))
+            self._pinned[term] = None
+
+    def unpin(self, terms=None):
+        """Release pins taken by :meth:`pin` (all of them when ``terms`` is
+        ``None``); the terms become reclaimable at the next collection."""
+        if terms is None:
+            self._pinned.clear()
+            return
+        if isinstance(terms, Term):
+            terms = (terms,)
+        for term in terms:
+            self._pinned.pop(term, None)
+
+    def collect(self, pins=()):
+        """Sweep the global term intern tables: evict every term born in a
+        closed generation (this session's past updates, other sessions',
+        explicit :func:`~repro.hilog.terms.intern_generation` blocks) that
+        no registered pin provider — and no root in ``pins`` — reaches.
+
+        With churn-heavy workloads this is what keeps
+        :func:`~repro.hilog.terms.intern_table_sizes` bounded by the *live*
+        fact volume instead of growing with every constant ever seen.  Pass
+        ``pins`` for terms you received from the session and still hold —
+        :meth:`query` answers and :class:`UpdateSummary` atom tuples pin
+        directly (``collect(pins=answers)``), substitutions through
+        ``Substitution.pin_roots()``.  Returns the collection stats dict.
+        """
+        stats = collect_generation(pins=pins)
+        # Reset only after a successful sweep: a GenerationError (collect
+        # inside an open generation) must not postpone the next auto-gc.
+        self._updates_since_collect = 0
+        return stats
+
     # -- updates ------------------------------------------------------------
 
     def insert(self, facts):
         """Assert facts; maintain the model.  Returns an :class:`UpdateSummary`."""
-        return self._apply(self._coerce_facts(facts), [])
+        with intern_generation():
+            result = self._apply(self._coerce_facts(facts), [])
+        self._after_update(result)
+        return result
 
     def retract(self, facts):
         """Retract facts; maintain the model.  Returns an :class:`UpdateSummary`."""
-        return self._apply([], self._coerce_facts(facts))
+        with intern_generation():
+            result = self._apply([], self._coerce_facts(facts))
+        self._after_update(result)
+        return result
 
     def update(self, inserts=(), retracts=()):
         """Apply assertions and retractions as one batch."""
-        return self._apply(self._coerce_facts(inserts), self._coerce_facts(retracts))
+        with intern_generation():
+            result = self._apply(
+                self._coerce_facts(inserts), self._coerce_facts(retracts)
+            )
+        self._after_update(result)
+        return result
 
     def transaction(self):
         """A :class:`Transaction` staging updates for one atomic commit."""
@@ -479,7 +637,8 @@ class DatabaseSession:
     def ask(self, atom):
         """Truth value of a ground atom in the maintained (total) model."""
         if isinstance(atom, str):
-            atom = parse_term(atom)
+            with intern_generation():
+                atom = parse_term(atom)
         if not atom.is_ground():
             raise GroundingError("ask() needs a ground atom, got %r" % (atom,))
         return atom in self._store
@@ -495,7 +654,8 @@ class DatabaseSession:
         reduces to an indexed match, whatever the query's shape.
         """
         if isinstance(query, str):
-            query = parse_query(query)
+            with intern_generation():
+                query = parse_query(query)
         if isinstance(query, Term):
             query = (Literal(query),)
         else:
@@ -517,7 +677,8 @@ class DatabaseSession:
     def facts(self, name, arity):
         """The maintained extension of one predicate indicator."""
         if isinstance(name, str):
-            name = parse_term(name)
+            with intern_generation():
+                name = parse_term(name)
         return tuple(self._store.facts(name, arity))
 
     def edb(self):
@@ -550,6 +711,8 @@ class DatabaseSession:
             strata=len(self._plans) if self._plans is not None else 0,
             strategies=self.strategies(),
             store=self._store.stats(),
+            intern=intern_table_sizes(),
+            updates_since_collect=self._updates_since_collect,
         )
         return info
 
@@ -561,16 +724,22 @@ class DatabaseSession:
         condition extension); recompute sessions replay the Figure-1
         procedure they are built on.  Returns a frozenset of true atoms.
         """
-        if self._mode == INCREMENTAL:
-            return seminaive_evaluate(
-                self._rules, extra_facts=sorted(self._edb, key=repr),
-                max_facts=self._limits.max_facts,
-                max_term_depth=self._limits.max_term_depth,
+        # The evaluation's transient terms live in their own generation, so
+        # paranoid deployments calling check() under churn do not accrete
+        # immortal intermediates.  Atoms of the returned model that are in
+        # the maintained store stay pinned through it; divergent atoms are
+        # sweepable once the caller lets go of the result.
+        with intern_generation():
+            if self._mode == INCREMENTAL:
+                return seminaive_evaluate(
+                    self._rules, extra_facts=sorted(self._edb, key=repr),
+                    max_facts=self._limits.max_facts,
+                    max_term_depth=self._limits.max_term_depth,
+                ).true
+            return perfect_model_for_hilog(
+                self._full_program(), strategy="seminaive",
+                max_atoms=self._limits.max_facts,
             ).true
-        return perfect_model_for_hilog(
-            self._full_program(), strategy="seminaive",
-            max_atoms=self._limits.max_facts,
-        ).true
 
     def check(self):
         """Verify the maintained model against a from-scratch recomputation

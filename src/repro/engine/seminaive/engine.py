@@ -64,7 +64,16 @@ from repro.engine.seminaive.relation import (
 )
 from repro.hilog.errors import GroundingError, HiLogError
 from repro.hilog.subst import Substitution
-from repro.hilog.terms import App, Num, Sym, Term, Var, intern_app, predicate_name
+from repro.hilog.terms import (
+    App,
+    Num,
+    Sym,
+    Term,
+    Var,
+    intern_app,
+    predicate_name,
+    register_flush_hook,
+)
 from repro.normal.depgraph import DependencyGraph
 
 
@@ -293,7 +302,8 @@ class ExecutionStats:
     ``fetches`` counts index probes, ``candidates`` the facts those probes
     returned (the join-candidate volume the indexes could not avoid)."""
 
-    __slots__ = ("fetches", "candidates")
+    # __weakref__ so the intern-table flush hook can register weakly.
+    __slots__ = ("fetches", "candidates", "__weakref__")
 
     def __init__(self):
         self.fetches = 0
@@ -309,6 +319,12 @@ class ExecutionStats:
 
 #: Module-level execution counters (see :class:`ExecutionStats`).
 EXECUTION_STATS = ExecutionStats()
+
+# The counters hold no terms, but a collection marks a measurement
+# boundary: flushing them keeps benchmark windows that straddle a
+# collection honest (registered weakly; the module keeps the singleton
+# alive for the process lifetime).
+_EXECUTION_STATS_FLUSH = register_flush_hook(EXECUTION_STATS.reset)
 
 
 def _outermost_symbol_fast(term):
@@ -827,6 +843,15 @@ class StratumPlan(NamedTuple):
     has_aggregates: bool
     #: Whether some rule reads a same-stratum predicate.
     is_recursive: bool
+
+    def pin_roots(self):
+        """Term roots the stratum's compiled plans retain, for intern
+        generation pin sets (:func:`repro.hilog.terms.collect_generation`).
+        The base and delta variants compile from the stratum's own rules
+        (the reordered bodies reuse the same atom objects), so the rules'
+        roots cover every register-program constant."""
+        for rule in self.rules:
+            yield from rule.pin_roots()
 
 
 def compile_stratum(rules, recursive):

@@ -91,6 +91,16 @@ class JoinPlan(NamedTuple):
     #: The plan lowered to a flat register program (the hot-path executable).
     registers: "RegisterProgram" = None
 
+    def pin_roots(self):
+        """Term roots this plan retains, for intern-generation pin sets.
+
+        Every constant the lowering bakes into the register program —
+        indicator names (``RFetch.const_name``), ``M_CONST`` payloads,
+        builder constants, the ``head_fast`` name — is a subterm of the
+        source rule, so pinning the rule's roots keeps all compiled
+        references canonical across a collection."""
+        return self.rule.pin_roots()
+
 
 def _builtin_ready(literal, bound):
     """Mirror of :func:`repro.engine.builtins.solve_builtin`'s capabilities:

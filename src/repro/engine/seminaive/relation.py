@@ -236,6 +236,13 @@ class SignedStore:
     def has_facts(self, name, arity):
         return (name, arity) in self._buckets
 
+    def pin_roots(self):
+        """Every recorded atom, for intern-generation pin sets (a caller
+        holding a maintenance delta across a collection pins it so the
+        flipped facts keep their canonical identity)."""
+        for bucket in self._buckets.values():
+            yield from bucket
+
     def fetch(self, name, arity, positions, key):
         bucket = self._buckets.get((name, arity))
         # Listed (not iterated live) because callers may record into the
@@ -369,6 +376,17 @@ class RelationStore:
     def relations(self):
         """All relations, in first-insertion order of their indicators."""
         return list(self._relations.values())
+
+    def pin_roots(self):
+        """The terms this store retains, for intern-generation pin sets
+        (:func:`repro.hilog.terms.collect_generation`): every stored atom,
+        plus the indicator name of every relation ever created — an emptied
+        relation keeps its (possibly generational) name term alive so it can
+        be reused with its indexes intact, and that reference must not
+        dangle across a collection."""
+        yield from self._members
+        for name, _arity in self._relations:
+            yield name
 
     def atoms(self):
         """Every stored atom (relation by relation, insertion order)."""

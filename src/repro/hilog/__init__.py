@@ -8,7 +8,7 @@ lexer and parser, rules/literals/programs, Herbrand universe enumeration and
 the universal-relation ("call"/"apply") encoding of Section 2 of the paper.
 """
 
-from repro.hilog.errors import HiLogError, ParseError, UnificationError
+from repro.hilog.errors import GenerationError, HiLogError, ParseError, UnificationError
 from repro.hilog.terms import (
     App,
     Num,
@@ -16,10 +16,21 @@ from repro.hilog.terms import (
     Term,
     Var,
     app,
+    begin_generation,
+    collect_generation,
+    end_generation,
+    fresh_var,
+    intern_generation,
+    intern_generation_sizes,
+    intern_table_sizes,
     is_ground,
+    register_flush_hook,
+    register_pin_provider,
     sym,
     term_depth,
     term_size,
+    unregister_flush_hook,
+    unregister_pin_provider,
     variables_of,
 )
 from repro.hilog.subst import Substitution, compose, empty_substitution
@@ -42,6 +53,18 @@ __all__ = [
     "HiLogError",
     "ParseError",
     "UnificationError",
+    "GenerationError",
+    "fresh_var",
+    "begin_generation",
+    "end_generation",
+    "intern_generation",
+    "collect_generation",
+    "intern_table_sizes",
+    "intern_generation_sizes",
+    "register_pin_provider",
+    "unregister_pin_provider",
+    "register_flush_hook",
+    "unregister_flush_hook",
     "Term",
     "Var",
     "Sym",

@@ -51,3 +51,11 @@ class StratificationError(HiLogError):
     """Raised when a program fails a stratification condition that the caller
     required (for example when asking for the perfect-model evaluation of a
     program that is not modularly stratified)."""
+
+
+class GenerationError(HiLogError):
+    """Raised on intern-generation misuse: closing a generation that is not
+    open, or collecting (:func:`repro.hilog.terms.collect_generation`) while
+    a generation is still open — in-flight computations hold terms in
+    places no pin provider can see, so sweeping then could split a live
+    term's identity."""

@@ -24,6 +24,8 @@ the application of the symbol ``not`` (as in Example 5.3 of the paper) while
 
 from __future__ import annotations
 
+import itertools
+
 from typing import List, Optional, Sequence, Tuple
 
 from repro.hilog.errors import ParseError
@@ -37,10 +39,21 @@ from repro.hilog.lexer import (
     tokenize,
 )
 from repro.hilog.program import AggregateSpec, Literal, Program, Rule
-from repro.hilog.terms import App, Num, Sym, Term, Var, make_list
+from repro.hilog.terms import App, Num, Sym, Term, Var, fresh_var, make_list
 
 _COMPARISON_OPS = ("=", "\\=", "<", ">", "=<", ">=", "=:=", "=\\=")
 _AGG_OPS = ("sum", "count", "min", "max")
+
+#: Process-wide parse counter: anonymous-variable display names embed it so
+#: printed output never shows two anons from different parses under one
+#: name.  Distinctness itself does not depend on the names: every ``_``
+#: becomes a *fresh, uninterned* :class:`Var` (see
+#: :func:`repro.hilog.terms.fresh_var`).  A per-parser-only counter with
+#: interned variables used to make ``_Anon1`` of every parse the *same
+#: object* — silently aliasing anonymous variables across parsed fragments
+#: combined into one rule — while globally unique interned names would
+#: leak one immortal variable per ``_`` per parse.
+_PARSE_IDS = itertools.count(1)
 
 
 class _Parser:
@@ -49,6 +62,7 @@ class _Parser:
     def __init__(self, text):
         self._tokens = tokenize(text)
         self._pos = 0
+        self._anon_prefix = "_Anon%d_" % next(_PARSE_IDS)
         self._anon_counter = 0
 
     # -- token helpers ------------------------------------------------------
@@ -129,7 +143,7 @@ class _Parser:
             self._advance()
             if token.value == "_":
                 self._anon_counter += 1
-                return Var("_Anon%d" % self._anon_counter)
+                return fresh_var("%s%d" % (self._anon_prefix, self._anon_counter))
             return Var(token.value)
         if token.kind == KIND_NUMBER:
             self._advance()

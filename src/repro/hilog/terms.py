@@ -28,19 +28,48 @@ with the children's cached hashes and compares by identity — one dictionary
 probe per construction.  Hash values keep the pre-interning structural
 formulas, so iteration orders (and hence printed outputs) are unchanged.
 
-The intern tables hold strong references and are never evicted: memory
-grows with the set of *distinct terms ever built in the process*.  The
-engines' per-evaluation resource caps bound each evaluation's term volume,
-but a long-lived :class:`~repro.db.session.DatabaseSession` churning over
-ever-fresh constants (timestamps, ids) accretes interned terms even after
-the facts are retracted.  Monitor with :func:`intern_table_sizes`; weak
-intern tables (or generation-scoped eviction) are a known follow-up for
-long-running serving processes.
+Interning alone would make memory grow with the set of *distinct terms
+ever built in the process* — fatal for a long-lived
+:class:`~repro.db.session.DatabaseSession` churning over ever-fresh
+constants (timestamps, ids).  The tables are therefore **generation
+scoped**: terms born while a generation is open (:func:`begin_generation` /
+:func:`end_generation`, or the :class:`intern_generation` context manager)
+record their generation and can later be *evicted* by
+:func:`collect_generation`, which sweeps every closed generation and drops
+the terms that are not reachable from a **pin set** — the explicit pin
+roots passed by the caller plus the roots supplied by every registered
+:func:`pin provider <register_pin_provider>` (relation stores, extensional
+databases, program rules, compiled register programs).  Terms born while
+no generation is open are *immortal* (generation 0) and are never swept,
+so one-shot evaluations and module constants pay nothing; a generational
+term re-obtained through an intern hit while no generation is open is
+*promoted* to immortal on the spot, so the promise covers everything you
+obtain at top level, not just what you build first.  Anonymous variables
+are outside the tables entirely: :func:`fresh_var` creates uninterned
+variables (and applications over them stay uninterned), reclaimed by
+ordinary garbage collection.
+
+The identity invariant survives collection because eviction is allowed
+only for terms the pin set cannot reach: any term a caller can still
+observe is (transitively) pinned, so rebuilding an evicted structure
+creates a fresh canonical object with no surviving twin.  The contract is
+therefore: **whoever calls** :func:`collect_generation` **must ensure the
+pins (explicit plus registered providers) cover every retained term** —
+do not collect while generational terms are held only in local variables.
+A :class:`~repro.db.session.DatabaseSession` opens a generation around
+every update and registers a pin provider for its store, EDB, rules and
+compiled plans, so session-driven collection is safe by construction.
+Monitor with :func:`intern_table_sizes` (live per-constructor counts) and
+:func:`intern_generation_sizes` (live counts per birth generation).
 """
 
 from __future__ import annotations
 
+import weakref
+
 from typing import Dict, Iterable, Iterator, Set, Tuple, Union
+
+from repro.hilog.errors import GenerationError
 
 #: Global intern (hash-consing) tables, one per constructor.  Num gets its
 #: own table so ``Num(1)`` and ``Sym("1")`` stay distinct objects.
@@ -49,14 +78,337 @@ _SYM_INTERN = {}
 _NUM_INTERN = {}
 _APP_INTERN = {}
 
+#: Generation bookkeeping.  ``_CURRENT_GEN`` is the innermost open
+#: generation id (0 = none open: terms born now are immortal);
+#: ``_OPEN_GENS`` the stack of open ids; ``_GEN_POOLS`` maps a generation
+#: id to the list of *live* interned terms born in it (entries are removed
+#: on eviction, so pool lengths are accurate live counts).
+_GEN_COUNTER = 0
+_CURRENT_GEN = 0
+_OPEN_GENS = []
+_GEN_POOLS = {}
+
+#: Weak references to callables consulted at collection time:
+#: pin providers yield root terms that must survive, flush hooks clear
+#: caches that would otherwise hold (and hand out) evicted terms.
+_PIN_PROVIDERS = []
+_FLUSH_HOOKS = []
+
+#: Sentinel generation of *fresh* (uninterned) terms — anonymous variables
+#: and any application containing one.  Far above every real generation id,
+#: so the pin-traversal threshold test always descends through fresh terms
+#: into the interned subterms they may hold.
+_FRESH_GEN = 1 << 62
+
+
+def _promote(term):
+    """Make a generational term (and its interned subterms) immortal.
+
+    Called on intern-cache hits while no generation is open: the documented
+    contract is that terms *obtained* at top level are never swept, and a
+    hit on a generational twin would otherwise hand out an object a later
+    collection could evict behind the holder's back.  Stale birth-pool
+    entries are dropped lazily at the next sweep (the sweep skips
+    generation-0 terms), so promotion is O(term size), not O(pool).
+    """
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node._gen == 0:
+            continue
+        object.__setattr__(node, "_gen", 0)
+        if type(node) is App:
+            stack.append(node.name)
+            stack.extend(node.args)
+
 
 def intern_table_sizes():
-    """Diagnostic: the number of live interned terms per constructor."""
+    """Diagnostic: the number of *currently interned* terms per constructor.
+
+    Counts shrink when :func:`collect_generation` evicts unpinned terms, so
+    under generation-scoped churn (a session inserting and retracting facts
+    over fresh constants) the sizes are bounded by the live term volume
+    instead of growing with every term ever built.  Per-birth-generation
+    counts are available from :func:`intern_generation_sizes`.
+    """
     return {
         "var": len(_VAR_INTERN),
         "sym": len(_SYM_INTERN),
         "num": len(_NUM_INTERN),
         "app": len(_APP_INTERN),
+    }
+
+
+def intern_generation_sizes():
+    """Live interned-term counts per birth generation.
+
+    Generation 0 counts the immortal terms (born while no generation was
+    open, or promoted by being re-obtained at top level — never swept);
+    every other key is a generation with at least one surviving term.  The
+    sum over all generations equals the sum of :func:`intern_table_sizes`.
+    """
+    sizes = {}
+    for gen, pool in _GEN_POOLS.items():
+        live = sum(1 for term in pool if term._gen)
+        if live:
+            sizes[gen] = live
+    mortal = sum(sizes.values())
+    total = (
+        len(_VAR_INTERN) + len(_SYM_INTERN) + len(_NUM_INTERN) + len(_APP_INTERN)
+    )
+    sizes[0] = total - mortal
+    return sizes
+
+
+def current_generation():
+    """The innermost open generation id, or 0 when none is open."""
+    return _CURRENT_GEN
+
+
+def begin_generation():
+    """Open a new intern generation and return its id.
+
+    Terms constructed while the generation is open record it as their birth
+    generation and become sweepable by :func:`collect_generation` once the
+    generation is closed.  Generations nest (LIFO).
+    """
+    global _GEN_COUNTER, _CURRENT_GEN
+    _GEN_COUNTER += 1
+    gen = _GEN_COUNTER
+    _OPEN_GENS.append(gen)
+    _CURRENT_GEN = gen
+    _GEN_POOLS[gen] = []
+    return gen
+
+
+def end_generation(gen):
+    """Close generation ``gen`` (and any generation opened after it).
+
+    Closed generations keep their birth pools until collected; empty pools
+    are dropped immediately.  Raises :class:`GenerationError` when ``gen``
+    is not open.
+    """
+    global _CURRENT_GEN
+    if gen not in _OPEN_GENS:
+        raise GenerationError("generation %r is not open" % (gen,))
+    while _OPEN_GENS:
+        closed = _OPEN_GENS.pop()
+        if not _GEN_POOLS.get(closed):
+            _GEN_POOLS.pop(closed, None)
+        if closed == gen:
+            break
+    _CURRENT_GEN = _OPEN_GENS[-1] if _OPEN_GENS else 0
+
+
+class intern_generation:
+    """Context manager sugar over :func:`begin_generation` /
+    :func:`end_generation`::
+
+        with intern_generation():
+            transient = parse_term("obs(t17)")
+        collect_generation(pins=[...])   # transient is sweepable now
+    """
+
+    __slots__ = ("gen",)
+
+    def __enter__(self):
+        self.gen = begin_generation()
+        return self.gen
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        if self.gen in _OPEN_GENS:
+            end_generation(self.gen)
+        return False
+
+
+def _weak_callable(callback):
+    """A weak reference to ``callback`` (WeakMethod for bound methods), so
+    registries never keep sessions or stores alive."""
+    if hasattr(callback, "__self__"):
+        return weakref.WeakMethod(callback)
+    return weakref.ref(callback)
+
+
+def register_pin_provider(provider):
+    """Register a callable yielding root terms that every collection must
+    keep interned (a session's store/EDB/rules, a standalone result a test
+    holds on to, ...).  Held weakly — keep the callable (or its bound
+    instance) alive yourself.  Returns a handle for
+    :func:`unregister_pin_provider`."""
+    handle = _weak_callable(provider)
+    _PIN_PROVIDERS.append(handle)
+    return handle
+
+
+def unregister_pin_provider(handle):
+    """Remove a previously registered pin provider (no-op when absent)."""
+    try:
+        _PIN_PROVIDERS.remove(handle)
+    except ValueError:
+        pass
+
+
+def register_flush_hook(hook):
+    """Register a callable invoked at the start of every collection, before
+    the pin set is gathered — the place to clear caches keyed by something
+    other than the terms themselves (parsed-fact string caches, execution
+    counters) so they neither pin nor hand out evicted terms.  Held weakly;
+    returns a handle for :func:`unregister_flush_hook`."""
+    handle = _weak_callable(hook)
+    _FLUSH_HOOKS.append(handle)
+    return handle
+
+
+def unregister_flush_hook(handle):
+    """Remove a previously registered flush hook (no-op when absent)."""
+    try:
+        _FLUSH_HOOKS.remove(handle)
+    except ValueError:
+        pass
+
+
+def _call_registered(registry):
+    """Yield the live callables of a weak registry, pruning dead entries."""
+    dead = []
+    for handle in registry:
+        callback = handle()
+        if callback is None:
+            dead.append(handle)
+        else:
+            yield callback
+    for handle in dead:
+        try:
+            registry.remove(handle)
+        except ValueError:
+            pass
+
+
+def _record(term, gen):
+    """Register a freshly interned mortal term in its birth pool."""
+    pool = _GEN_POOLS.get(gen)
+    if pool is None:
+        pool = _GEN_POOLS[gen] = []
+    pool.append(term)
+
+
+def _evict(term, counts):
+    """Drop one term's intern-table entry (the sweep's unpin action)."""
+    kind = type(term)
+    if kind is App:
+        key = (term.name,) + term.args
+        if _APP_INTERN.get(key) is term:
+            del _APP_INTERN[key]
+        counts["app"] += 1
+    elif kind is Num:
+        if _NUM_INTERN.get(term.value) is term:
+            del _NUM_INTERN[term.value]
+        counts["num"] += 1
+    elif kind is Var:
+        if _VAR_INTERN.get(term.name) is term:
+            del _VAR_INTERN[term.name]
+        counts["var"] += 1
+    else:
+        if _SYM_INTERN.get(term.name) is term:
+            del _SYM_INTERN[term.name]
+        counts["sym"] += 1
+
+
+def collect_generation(pins=(), generations=None):
+    """Sweep closed generations: evict every term born in them that is not
+    reachable from the pin set.
+
+    ``pins`` is an iterable of root terms to keep (their subterms are kept
+    too); the roots yielded by every registered pin provider are always
+    added.  ``generations`` optionally restricts the sweep to specific
+    closed generation ids (default: all closed generations).  Terms that
+    survive stay in their birth pool and are re-examined by future
+    collections, so a pinned term becomes evictable as soon as it stops
+    being reachable (e.g. after the fact holding it is retracted).
+
+    Raises :class:`GenerationError` when any generation is still open —
+    in-flight computations hold terms in places no pin provider can see.
+    Returns a stats dict: the generation ids swept, the pinned-term count,
+    per-constructor eviction counts, and the post-sweep table sizes.
+    """
+    if _OPEN_GENS:
+        raise GenerationError(
+            "cannot collect while generations %r are open" % (_OPEN_GENS,)
+        )
+    target = list(_GEN_POOLS)
+    if generations is not None:
+        wanted = set(generations)
+        target = [gen for gen in target if gen in wanted]
+    evicted = {"var": 0, "sym": 0, "num": 0, "app": 0}
+    if not target:
+        return {
+            "generations": (),
+            "pinned": 0,
+            "evicted": evicted,
+            "evicted_total": 0,
+            "sizes": intern_table_sizes(),
+        }
+
+    for hook in list(_call_registered(_FLUSH_HOOKS)):
+        hook()
+
+    # Mark: the subterm closure of the pin roots, pruned at terms born
+    # before the oldest swept generation (a term can only contain subterms
+    # at most as young as itself, so nothing below the threshold can reach
+    # a candidate).
+    threshold = min(target)
+    pinned = set()
+    stack = []
+
+    def push_roots(roots):
+        for root in roots:
+            if isinstance(root, Term) and root._gen >= threshold:
+                stack.append(root)
+
+    push_roots(pins)
+    for provider in list(_call_registered(_PIN_PROVIDERS)):
+        push_roots(provider())
+    # A sweep restricted to specific generations must keep every term the
+    # *surviving* generations still reference: their pool members are
+    # implicit roots (an App born in a non-swept generation may hold
+    # children born in a swept one, and evicting those would leave the
+    # surviving App dangling).  Unrestricted sweeps have no such pools.
+    for gen, pool in _GEN_POOLS.items():
+        if gen not in target:
+            push_roots(pool)
+    while stack:
+        term = stack.pop()
+        if term in pinned:
+            continue
+        pinned.add(term)
+        if type(term) is App:
+            name = term.name
+            if name._gen >= threshold:
+                stack.append(name)
+            for arg in term.args:
+                if arg._gen >= threshold:
+                    stack.append(arg)
+
+    # Sweep: evict the unpinned, keep survivors in their birth pool.
+    # Terms promoted to immortality since birth (generation 0) are dropped
+    # from the pool without eviction — their table entries are permanent.
+    for gen in target:
+        pool = _GEN_POOLS.pop(gen)
+        survivors = []
+        for term in pool:
+            if term._gen == 0:
+                continue
+            if term in pinned:
+                survivors.append(term)
+            else:
+                _evict(term, evicted)
+        if survivors:
+            _GEN_POOLS[gen] = survivors
+    return {
+        "generations": tuple(target),
+        "pinned": len(pinned),
+        "evicted": evicted,
+        "evicted_total": sum(evicted.values()),
+        "sizes": intern_table_sizes(),
     }
 
 
@@ -108,16 +460,22 @@ class Var(Term):
     variables may use any string.
     """
 
-    __slots__ = ("name", "_hash")
+    __slots__ = ("name", "_hash", "_gen")
 
     def __new__(cls, name):
         self = _VAR_INTERN.get(name)
         if self is not None:
+            if self._gen and not _CURRENT_GEN:
+                _promote(self)
             return self
         self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_hash", hash(("var", name)))
+        gen = _CURRENT_GEN
+        object.__setattr__(self, "_gen", gen)
         _VAR_INTERN[name] = self
+        if gen:
+            _record(self, gen)
         return self
 
     def __setattr__(self, key, value):
@@ -153,16 +511,22 @@ class Sym(Term):
     not distinguish these roles.
     """
 
-    __slots__ = ("name", "_hash")
+    __slots__ = ("name", "_hash", "_gen")
 
     def __new__(cls, name):
         self = _SYM_INTERN.get(name)
         if self is not None:
+            if self._gen and not _CURRENT_GEN:
+                _promote(self)
             return self
         self = object.__new__(cls)
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "_hash", hash(("sym", name)))
+        gen = _CURRENT_GEN
+        object.__setattr__(self, "_gen", gen)
         _SYM_INTERN[name] = self
+        if gen:
+            _record(self, gen)
         return self
 
     def __setattr__(self, key, value):
@@ -204,12 +568,18 @@ class Num(Sym):
         value = int(value)
         self = _NUM_INTERN.get(value)
         if self is not None:
+            if self._gen and not _CURRENT_GEN:
+                _promote(self)
             return self
         self = object.__new__(cls)
         object.__setattr__(self, "name", str(value))
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "_hash", hash(("num", value)))
+        gen = _CURRENT_GEN
+        object.__setattr__(self, "_gen", gen)
         _NUM_INTERN[value] = self
+        if gen:
+            _record(self, gen)
         return self
 
     def __eq__(self, other):
@@ -234,7 +604,7 @@ class App(Term):
     dictionary probe that returns the canonical object.
     """
 
-    __slots__ = ("name", "args", "_hash", "_ground", "_depth")
+    __slots__ = ("name", "args", "_hash", "_ground", "_depth", "_gen")
 
     def __new__(cls, name, args=()):
         if not isinstance(name, Term):
@@ -246,6 +616,8 @@ class App(Term):
         except TypeError:
             self = None  # unhashable non-Term argument; diagnosed below
         if self is not None:
+            if self._gen and not _CURRENT_GEN:
+                _promote(self)
             return self
         for arg in args:
             if not isinstance(arg, Term):
@@ -265,7 +637,40 @@ class App(Term):
             if arg_depth > depth:
                 depth = arg_depth
         object.__setattr__(self, "_depth", depth + 1)
+        # Birth generation: at least the current one, and never younger
+        # than any child — an application built after a generation closed
+        # must still be sweepable together with the mortal children it
+        # references (collection prunes pin traversal below a term's own
+        # generation, so descendants may never outlive their ancestors'
+        # generation bound).  An application over a *fresh* (uninterned)
+        # child inherits the fresh sentinel and is itself left uninterned:
+        # its key contains an identity-unique object, so a table entry
+        # could never be hit again and would only be immortal leak.
+        gen = _CURRENT_GEN
+        child_gen = name._gen
+        if child_gen > gen:
+            gen = child_gen
+        for arg in args:
+            child_gen = arg._gen
+            if child_gen > gen:
+                gen = child_gen
+        if gen >= _FRESH_GEN:
+            # Fresh-descended: uninterned, reclaimed by ordinary GC.
+            object.__setattr__(self, "_gen", gen)
+            return self
+        if gen and not _CURRENT_GEN:
+            # Top-level construction over generational children: the
+            # immortality promise covers everything obtained while no
+            # generation is open, so promote the children (mirroring the
+            # intern-hit path) and intern the new application immortally.
+            _promote(name)
+            for arg in args:
+                _promote(arg)
+            gen = 0
+        object.__setattr__(self, "_gen", gen)
         _APP_INTERN[key] = self
+        if gen:
+            _record(self, gen)
         return self
 
     def __setattr__(self, key, value):
@@ -345,6 +750,8 @@ def intern_app(name, args):
     """
     cached = _APP_INTERN.get((name,) + args)
     if cached is not None:
+        if cached._gen and not _CURRENT_GEN:
+            _promote(cached)
         return cached
     return App(name, args)
 
@@ -365,6 +772,31 @@ def var(name):
     if isinstance(name, Var):
         return name
     return Var(str(name))
+
+
+def fresh_var(name):
+    """An **uninterned** variable: a fresh object distinct from every other
+    variable, including interned or fresh ones carrying the same name.
+
+    This is the representation of anonymous variables (the parser's ``_``):
+    each occurrence denotes a fresh variable, so distinctness must come
+    from object identity rather than from globally unique names — unique
+    names in the intern table would make every parse of ``_`` permanent
+    (immortal) intern growth.  A fresh variable never has an intern-table
+    entry — and neither does any application containing one (its intern key
+    holds an identity-unique object that could never be probed again) — so
+    the whole structure is reclaimed by ordinary Python garbage collection
+    along with whatever rule holds it, with no generation bookkeeping.
+    Consequently building the *same* application over the *same* fresh
+    variable twice yields two distinct objects, and printing a fresh
+    variable then reparsing the text yields an (interned) α-equivalent
+    variable, not the same object.
+    """
+    self = object.__new__(Var)
+    object.__setattr__(self, "name", name)
+    object.__setattr__(self, "_hash", hash(("var", name)))
+    object.__setattr__(self, "_gen", _FRESH_GEN)
+    return self
 
 
 def app(name, *args):

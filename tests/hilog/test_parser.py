@@ -66,6 +66,62 @@ class TestTerms:
         term = parse_term("p(_, _)")
         assert term.args[0] != term.args[1]
 
+    def test_anonymous_variables_distinct_across_parses(self):
+        # Regression: with hash-consed terms, a per-parser ``_Anon%d``
+        # counter made the first ``_`` of every independent parse the very
+        # same ``Var`` object, silently aliasing anonymous variables in
+        # fragments combined from separate parse calls.
+        first = parse_term("p(_)")
+        second = parse_term("q(_)")
+        assert first.args[0] is not second.args[0]
+        assert first.args[0] != second.args[0]
+
+    def test_combined_rules_from_two_parses_keep_anons_apart(self):
+        from repro.hilog.program import Program
+
+        # Two independently parsed rules, each using ``_``: combining them
+        # into one program must not link their anonymous variables.
+        rule_a = parse_rule("p(X) :- e(X, _).")
+        rule_b = parse_rule("q(Y) :- f(_, Y).")
+        anon_a = next(iter(rule_a.body[0].atom.args[1].variables()))
+        anon_b = next(iter(rule_b.body[0].atom.args[0].variables()))
+        assert anon_a is not anon_b
+        program = Program((rule_a, rule_b))
+        assert len(program.rules[0].variables() & program.rules[1].variables()) == 0
+
+    def test_cross_parse_anon_aliasing_would_change_safety(self):
+        # A head built in one parse and a body atom in another: an aliased
+        # anonymous variable would make this unsafe rule look range
+        # restricted (head var "bound" by the unrelated body's anon).
+        head = parse_term("h(_)")
+        body_atom = parse_term("b(_)")
+        head_var = next(iter(head.variables()))
+        body_var = next(iter(body_atom.variables()))
+        assert head_var is not body_var
+
+    def test_anonymous_variables_never_grow_the_intern_table(self):
+        # Anonymous variables are fresh *uninterned* objects, and the
+        # applications containing them stay uninterned too: repeated
+        # parsing of ``_`` must not accrete entries in ANY table —
+        # globally unique interned names would leak one Var (plus one
+        # App per enclosing application) per parse.
+        from repro.hilog.terms import intern_table_sizes
+
+        parse_term("p(_, _)")
+        before = intern_table_sizes()
+        for _ in range(50):
+            term = parse_term("p(_, _)")
+        assert intern_table_sizes() == before
+        # ... while remaining genuinely distinct variables.
+        assert term.args[0] is not term.args[1]
+        assert len(term.variables()) == 2
+        # A nested application over an anon is uninterned as well (each
+        # parse yields a fresh object), but a ground sibling subterm is
+        # shared and canonical as usual.
+        nested = parse_term("q(f(_), f(a))")
+        assert parse_term("q(f(_), f(a))") is not nested
+        assert parse_term("f(a)") is nested.args[1]
+
     def test_comments_are_skipped(self):
         program = parse_program("% a comment\np(a). /* block\ncomment */ q(b).")
         assert len(program) == 2
