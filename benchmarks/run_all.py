@@ -48,9 +48,14 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
 
 #: The subset exercised by the CI smoke step: the incremental-maintenance
-#: acceptance benchmark and the intern-table memory gate (both fast, both
-#: assert their acceptance bars — speedup and bounded memory).
-SMOKE = ("bench_e11_incremental.py", "bench_e12_memory.py")
+#: acceptance benchmark, the intern-table memory gate and the well-founded
+#: alternating-fixpoint gate (all fast, all assert their acceptance bars —
+#: speedup, bounded memory, and the non-stratified speedup respectively).
+SMOKE = (
+    "bench_e11_incremental.py",
+    "bench_e12_memory.py",
+    "bench_e13_wellfounded.py",
+)
 
 
 def discover(only=None, smoke=False):

@@ -58,6 +58,7 @@ from repro.core import (
     classify_rule,
     hilog_stable_models,
     hilog_well_founded_model,
+    well_founded_for_hilog,
     is_datahilog,
     is_range_restricted,
     is_strongly_range_restricted,
@@ -83,7 +84,7 @@ __all__ = [
     # incremental database sessions
     "DatabaseSession", "Transaction", "UpdateSummary", "open_session",
     # core
-    "hilog_well_founded_model", "hilog_stable_models",
+    "hilog_well_founded_model", "well_founded_for_hilog", "hilog_stable_models",
     "normal_well_founded_model", "normal_stable_models",
     "is_range_restricted", "is_strongly_range_restricted", "classify_rule",
     "check_preservation_under_extensions", "check_domain_independence",

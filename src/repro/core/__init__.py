@@ -18,6 +18,7 @@ from repro.core.semantics import (
     hilog_stable_models,
     hilog_well_founded_model,
     normal_well_founded_model,
+    well_founded_for_hilog,
     normal_stable_models,
 )
 from repro.core.range_restriction import (
@@ -54,6 +55,7 @@ from repro.core.magic import (
 
 __all__ = [
     "hilog_well_founded_model",
+    "well_founded_for_hilog",
     "hilog_stable_models",
     "normal_well_founded_model",
     "normal_stable_models",

@@ -388,6 +388,17 @@ def _seminaive_whole_program(program, max_atoms, max_term_depth):
     so bypassing the procedure could change which groups exist.  Returns a
     :class:`HiLogModularResult` or ``None`` when the engine declines (the
     caller then runs Figure 1).
+
+    Programs with a cycle through negation at the indicator level get one
+    more fast check before the grounding path: the alternating-fixpoint
+    engine (:mod:`repro.engine.seminaive.wellfounded`) computes their
+    well-founded model without grounding, and a *partial* model refutes
+    modular stratification outright (Theorem 6.1: modularly stratified ⇒
+    total well-founded model), so the negative verdict is returned without
+    instantiating a single ground rule.  A total model proves nothing —
+    Figure 1 additionally demands locally stratified component reductions
+    (cf. ``p :- not q.  q :- not p.  p.``, total but rejected) — so that
+    case still falls through to the oracle.
     """
     from repro.engine.seminaive import SeminaiveUnsupported, seminaive_evaluate
 
@@ -397,10 +408,37 @@ def _seminaive_whole_program(program, max_atoms, max_term_depth):
         result = seminaive_evaluate(
             program, max_facts=max_atoms, max_term_depth=max_term_depth
         )
-    except (SeminaiveUnsupported, GroundingError, EvaluationError):
+    except SeminaiveUnsupported:
+        return _seminaive_refute_by_wellfounded(program, max_atoms, max_term_depth)
+    except (GroundingError, EvaluationError):
         return None
     model = Interpretation(result.true, base=result.true)
     return HiLogModularResult(True, model, "", result.strata)
+
+
+def _seminaive_refute_by_wellfounded(program, max_atoms, max_term_depth):
+    """Try to refute modular stratification through the alternating engine
+    (see :func:`_seminaive_whole_program`); ``None`` when inconclusive."""
+    from repro.engine.seminaive import SeminaiveUnsupported
+    from repro.engine.seminaive.wellfounded import seminaive_well_founded
+
+    try:
+        wellfounded = seminaive_well_founded(
+            program, max_facts=max_atoms, max_term_depth=max_term_depth
+        )
+    except (SeminaiveUnsupported, GroundingError, EvaluationError):
+        return None
+    if wellfounded.undefined:
+        sample = sorted(map(repr, wellfounded.undefined))[:3]
+        return HiLogModularResult(
+            False, None,
+            "the well-founded model leaves %d atom(s) undefined (e.g. %s), "
+            "so the program has no total well-founded model and is not "
+            "modularly stratified (Theorem 6.1)"
+            % (len(wellfounded.undefined), ", ".join(sample)),
+            (),
+        )
+    return None
 
 
 def _seminaive_component(component_rules, settled_true, max_atoms, max_term_depth):

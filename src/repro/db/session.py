@@ -15,12 +15,22 @@ from scratch:
 * aggregate strata by stratum-local recomputation, which is also the
   fallback whenever an incremental step trips an integrity check.
 
-Programs outside the semi-naive engine's stratified class (recursion
-through negation inside a component, recursion through aggregation,
-variable predicate names mixed with negation) still get a session: updates
-fall back to whole-model recomputation through the Figure-1 procedure
-(``perfect_model_for_hilog``), so the session API is uniform across every
-program class the repository supports.
+Programs outside the semi-naive engine's stratified class still get a
+session:
+
+* programs with a cycle through negation at the predicate-indicator level
+  (win/move games over cyclic graphs, the class between stratified and
+  arbitrary normal programs) run in **well-founded mode**: every update
+  recomputes the three-valued well-founded model through the semi-naive
+  alternating fixpoint (:mod:`repro.engine.seminaive.wellfounded`) — no
+  grounding, and the maintained store holds the certainly-true atoms while
+  :attr:`DatabaseSession.undefined` exposes the undefined ones;
+* everything else (variable predicate names mixed with negation, recursion
+  through aggregation) falls back to whole-model recomputation through the
+  Figure-1 procedure (``perfect_model_for_hilog``),
+
+so the session API is uniform across every program class the repository
+supports.
 
 One documented semantic divergence, inherited from the two evaluators:
 for an aggregate whose condition predicate is settled in a *lower*
@@ -63,6 +73,7 @@ from repro.engine.seminaive.engine import (
     seminaive_evaluate,
     stratify_program,
 )
+from repro.engine.seminaive.wellfounded import seminaive_well_founded
 from repro.engine.seminaive.relation import RelationStore, predicate_indicator
 from repro.hilog.errors import GroundingError, HiLogError
 from repro.hilog.parser import parse_program, parse_query, parse_term
@@ -79,6 +90,7 @@ from repro.hilog.terms import (
 
 #: Session evaluation modes.
 INCREMENTAL = "incremental"
+WELLFOUNDED = "wellfounded"
 RECOMPUTE_MODE = "recompute"
 
 
@@ -100,8 +112,13 @@ class UpdateSummary(NamedTuple):
     removed: Tuple[Term, ...]
     #: Number of strata whose maintenance ran (0 for recompute mode).
     strata_touched: int
-    #: ``"incremental"``, ``"recompute"`` or ``"rebuild"`` (disaster path).
+    #: ``"incremental"``, ``"wellfounded"``, ``"recompute"`` or
+    #: ``"rebuild"`` (disaster path).
     mode: str
+    #: Atoms that became undefined / stopped being undefined (well-founded
+    #: mode only; always empty when the maintained model is total).
+    undefined_added: Tuple[Term, ...] = ()
+    undefined_removed: Tuple[Term, ...] = ()
 
 
 class Transaction:
@@ -174,10 +191,12 @@ class DatabaseSession:
             its facts seed the extensional database, its proper rules are
             fixed for the session's lifetime.
         strategy: ``"auto"`` (incremental maintenance when the program is
-            in the semi-naive engine's stratified class, whole-model
-            recomputation otherwise), ``"incremental"`` (raise
+            in the semi-naive engine's stratified class, semi-naive
+            well-founded recomputation when it only has indicator-level
+            cycles through negation, Figure-1 whole-model recomputation
+            otherwise), ``"incremental"`` / ``"wellfounded"`` (raise
             :class:`~repro.engine.seminaive.SeminaiveUnsupported` outside
-            the class) or ``"recompute"``.
+            the respective class) or ``"recompute"``.
         max_facts / max_term_depth: the engine's resource caps.
         intern_gc: when set to a positive integer N, the session sweeps the
             term intern tables (:meth:`collect`) automatically after every N
@@ -204,10 +223,10 @@ class DatabaseSession:
 
     def __init__(self, program, strategy="auto", max_facts=1000000,
                  max_term_depth=None, intern_gc=None):
-        if strategy not in ("auto", INCREMENTAL, RECOMPUTE_MODE):
+        if strategy not in ("auto", INCREMENTAL, WELLFOUNDED, RECOMPUTE_MODE):
             raise ValueError(
-                "unknown strategy %r (use 'auto', 'incremental' or 'recompute')"
-                % (strategy,)
+                "unknown strategy %r (use 'auto', 'incremental', "
+                "'wellfounded' or 'recompute')" % (strategy,)
             )
         if intern_gc is not None and (not isinstance(intern_gc, int) or intern_gc <= 0):
             raise ValueError("intern_gc must be None or a positive integer")
@@ -229,6 +248,7 @@ class DatabaseSession:
         self._owner = {}
         self._unknown_stratum = None
         self._mode = RECOMPUTE_MODE
+        self._undefined = frozenset()
         if strategy in ("auto", INCREMENTAL):
             try:
                 stratification = stratify_program(self._rules, by_component=True)
@@ -248,6 +268,19 @@ class DatabaseSession:
                 if strategy == INCREMENTAL:
                     raise
                 self._plans = None
+        if strategy in ("auto", WELLFOUNDED) and self._mode == RECOMPUTE_MODE:
+            # The non-stratified fast fallback: programs whose only obstacle
+            # is an indicator-level cycle through negation are recomputed
+            # per update with the semi-naive alternating fixpoint instead of
+            # the (orders-of-magnitude slower) Figure-1 grounding path.  The
+            # stratification probe is cheap; compile-time failures surface
+            # at the first materialization below and demote to recompute.
+            try:
+                stratify_program(self._rules, allow_unstratified=True)
+                self._mode = WELLFOUNDED
+            except SeminaiveUnsupported:
+                if strategy == WELLFOUNDED:
+                    raise
         self._stats = {
             "updates": 0,
             "counting_updates": 0,
@@ -256,6 +289,7 @@ class DatabaseSession:
             "stratum_fallbacks": 0,
             "rebuilds": 0,
             "recompute_mode_updates": 0,
+            "wellfounded_updates": 0,
         }
         self._version = 0
         self._program_cache = None
@@ -264,7 +298,17 @@ class DatabaseSession:
         self._updates_since_collect = 0
         self._transactions = weakref.WeakSet()
         self._pinned = {}
-        self._materialize()
+        try:
+            self._materialize()
+        except SeminaiveUnsupported:
+            # The mode probe accepted the program but compilation declined
+            # (e.g. an unschedulable rule body): demote to the Figure-1
+            # recompute fallback unless the caller pinned the fast mode.
+            if strategy in (INCREMENTAL, WELLFOUNDED):
+                raise
+            self._mode = RECOMPUTE_MODE
+            self._plans = None
+            self._materialize()
         # Registered weakly, and only once construction has succeeded: the
         # registry never keeps the session alive, a dead session's
         # pins/flushes drop out of collection automatically, and a session
@@ -285,9 +329,24 @@ class DatabaseSession:
         self._program_cache = (self._version, program)
         return program
 
+    def _wellfounded_from_scratch(self):
+        """The semi-naive well-founded model of the rules over the current
+        EDB — the single source for well-founded materialization,
+        :meth:`recompute_reference` and :meth:`check`."""
+        return seminaive_well_founded(
+            self._rules, extra_facts=sorted(self._edb, key=repr),
+            max_facts=self._limits.max_facts,
+            max_term_depth=self._limits.max_term_depth,
+        )
+
     def _materialize(self):
         """(Re)compute the store — and the support counts of counting
         strata — from the rules and the current EDB."""
+        if self._mode == WELLFOUNDED:
+            result = self._wellfounded_from_scratch()
+            self._undefined = result.undefined
+            self._store = result.store
+            return
         if self._mode == INCREMENTAL:
             store = RelationStore()
             for atom in self._edb:
@@ -368,6 +427,7 @@ class DatabaseSession:
         staged in live transactions."""
         yield from self._store.pin_roots()
         yield from self._edb
+        yield from self._undefined
         yield from self._pinned
         yield from self._rules.pin_roots()
         if self._plans is not None:
@@ -394,7 +454,10 @@ class DatabaseSession:
         every = self._intern_gc_every
         if every is not None and self._updates_since_collect >= every \
                 and current_generation() == 0:
-            self.collect(pins=result.added + result.removed)
+            self.collect(
+                pins=result.added + result.removed
+                + result.undefined_added + result.undefined_removed
+            )
 
     def pin(self, terms):
         """Keep ``terms`` (a :class:`~repro.hilog.terms.Term` or an iterable
@@ -500,7 +563,7 @@ class DatabaseSession:
         self._version += 1
         self._stats["updates"] += 1
 
-        if self._mode == RECOMPUTE_MODE:
+        if self._mode != INCREMENTAL:
             return self._apply_by_recompute(ins, rem)
 
         delta = Delta()
@@ -606,7 +669,11 @@ class DatabaseSession:
 
     def _apply_by_recompute(self, ins, rem):
         old_true = frozenset(self._store)
-        self._stats["recompute_mode_updates"] += 1
+        old_undefined = self._undefined
+        if self._mode == WELLFOUNDED:
+            self._stats["wellfounded_updates"] += 1
+        else:
+            self._stats["recompute_mode_updates"] += 1
         try:
             self._materialize()
         except HiLogError:
@@ -623,7 +690,9 @@ class DatabaseSession:
             added=tuple(new_true - old_true),
             removed=tuple(old_true - new_true),
             strata_touched=0,
-            mode=RECOMPUTE_MODE,
+            mode=self._mode,
+            undefined_added=tuple(self._undefined - old_undefined),
+            undefined_removed=tuple(old_undefined - self._undefined),
         )
 
     # -- reads --------------------------------------------------------------
@@ -635,7 +704,12 @@ class DatabaseSession:
         return atom in self._store
 
     def ask(self, atom):
-        """Truth value of a ground atom in the maintained (total) model."""
+        """Whether a ground atom is *true* in the maintained model.
+
+        In well-founded mode the model may be partial: an undefined atom
+        answers ``False`` here (it is not certainly true) — use
+        :meth:`value` for the three-valued verdict.
+        """
         if isinstance(atom, str):
             with intern_generation():
                 atom = parse_term(atom)
@@ -643,15 +717,34 @@ class DatabaseSession:
             raise GroundingError("ask() needs a ground atom, got %r" % (atom,))
         return atom in self._store
 
+    def value(self, atom):
+        """The three-valued verdict for a ground atom: ``"true"``,
+        ``"undefined"`` or ``"false"`` (closed world).  Outside well-founded
+        mode the maintained model is total, so this never answers
+        ``"undefined"``."""
+        if isinstance(atom, str):
+            with intern_generation():
+                atom = parse_term(atom)
+        if not atom.is_ground():
+            raise GroundingError("value() needs a ground atom, got %r" % (atom,))
+        if atom in self._store:
+            return "true"
+        if atom in self._undefined:
+            return "undefined"
+        return "false"
+
     def query(self, query):
         """Answer a query against the maintained model.
 
         Every query is answered straight from the store's indexes (the
         session-backed path of
-        :func:`repro.core.magic.evaluate.answer_from_store`): the session
-        maintains the *total* model, so the evaluating paths' answer
-        contract — the true ground instances of the first query atom —
-        reduces to an indexed match, whatever the query's shape.
+        :func:`repro.core.magic.evaluate.answer_from_store`): the store
+        holds exactly the model's *true* atoms, so the evaluating paths'
+        answer contract — the true ground instances of the first query
+        atom — reduces to an indexed match, whatever the query's shape.
+        In well-founded mode the model may be partial: undefined instances
+        are not certainly true and hence never answered — inspect
+        :attr:`undefined` / :meth:`value` for the third truth value.
         """
         if isinstance(query, str):
             with intern_generation():
@@ -669,10 +762,22 @@ class DatabaseSession:
         """The maintained model's true atoms (a fresh frozenset, O(n))."""
         return frozenset(self._store)
 
+    @property
+    def undefined(self):
+        """The maintained model's undefined atoms (empty outside
+        well-founded mode — the other modes maintain total models)."""
+        return self._undefined
+
+    def is_total(self):
+        """True when the maintained model leaves nothing undefined."""
+        return not self._undefined
+
     def model(self):
-        """The maintained perfect model as a total :class:`Interpretation`."""
+        """The maintained model as an :class:`Interpretation`: total in
+        incremental/recompute mode, possibly partial (true atoms explicit,
+        undefined atoms in the base) in well-founded mode."""
         true = frozenset(self._store)
-        return Interpretation(true=true, base=true)
+        return Interpretation(true=true, base=true | self._undefined)
 
     def facts(self, name, arity):
         """The maintained extension of one predicate indicator."""
@@ -687,7 +792,7 @@ class DatabaseSession:
 
     @property
     def mode(self):
-        """``"incremental"`` or ``"recompute"``."""
+        """``"incremental"``, ``"wellfounded"`` or ``"recompute"``."""
         return self._mode
 
     @property
@@ -707,6 +812,7 @@ class DatabaseSession:
         info.update(
             mode=self._mode,
             facts=len(self._store),
+            undefined_facts=len(self._undefined),
             edb_facts=len(self._edb),
             strata=len(self._plans) if self._plans is not None else 0,
             strategies=self.strategies(),
@@ -721,8 +827,10 @@ class DatabaseSession:
 
         Incremental sessions replay :func:`~repro.engine.seminaive.seminaive_evaluate`
         (stratum-by-stratum semantics, aggregates folding over the full
-        condition extension); recompute sessions replay the Figure-1
-        procedure they are built on.  Returns a frozenset of true atoms.
+        condition extension); well-founded sessions replay
+        :func:`~repro.engine.seminaive.wellfounded.seminaive_well_founded`;
+        recompute sessions replay the Figure-1 procedure they are built on.
+        Returns a frozenset of true atoms.
         """
         # The evaluation's transient terms live in their own generation, so
         # paranoid deployments calling check() under churn do not accrete
@@ -736,6 +844,8 @@ class DatabaseSession:
                     max_facts=self._limits.max_facts,
                     max_term_depth=self._limits.max_term_depth,
                 ).true
+            if self._mode == WELLFOUNDED:
+                return self._wellfounded_from_scratch().true
             return perfect_model_for_hilog(
                 self._full_program(), strategy="seminaive",
                 max_atoms=self._limits.max_facts,
@@ -743,18 +853,38 @@ class DatabaseSession:
 
     def check(self):
         """Verify the maintained model against a from-scratch recomputation
-        (:meth:`recompute_reference`).
+        (:meth:`recompute_reference`); well-founded sessions additionally
+        verify the undefined partition.
+
+        As the module docstring notes, each mode is accountable to the
+        evaluator it is built on: for incremental sessions this catches
+        maintenance-algorithm bugs, while for recompute/well-founded
+        sessions — which already rematerialize through the same evaluator
+        on every update — it validates the session's state bookkeeping
+        (EDB tracking, rollbacks, partition sync), not the evaluator
+        itself.  Engine correctness is covered independently by the
+        differential harness against the ground oracles
+        (``tests/engine/test_wellfounded_agreement.py``).
 
         Returns ``True`` on agreement; raises :class:`SessionIntegrityError`
         with sample differences otherwise.  Intended for tests, benchmarks
         and paranoid deployments — it costs a full evaluation.
         """
-        scratch = self.recompute_reference()
+        scratch_undefined = self._undefined
+        if self._mode == WELLFOUNDED:
+            with intern_generation():
+                reference = self._wellfounded_from_scratch()
+            scratch = reference.true
+            scratch_undefined = reference.undefined
+        else:
+            scratch = self.recompute_reference()
         maintained = frozenset(self._store)
-        if maintained == scratch:
+        if maintained == scratch and self._undefined == scratch_undefined:
             return True
-        missing = sorted(map(repr, scratch - maintained))[:5]
-        spurious = sorted(map(repr, maintained - scratch))[:5]
+        missing = sorted(map(repr, (scratch - maintained)
+                             | (scratch_undefined - self._undefined)))[:5]
+        spurious = sorted(map(repr, (maintained - scratch)
+                              | (self._undefined - scratch_undefined)))[:5]
         raise SessionIntegrityError(
             "maintained model diverged from recomputation: missing %s, "
             "spurious %s" % (missing, spurious)

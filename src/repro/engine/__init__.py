@@ -45,10 +45,12 @@ from repro.engine.stable import stable_models, is_stable_model
 from repro.engine.builtins import evaluate_ground_builtin, is_arithmetic_term, solve_builtin
 from repro.engine.aggregates import evaluate_aggregate
 from repro.engine.seminaive import (
+    LayeredStore,
     PlanSources,
     RelationStore,
     SeminaiveResult,
     SeminaiveUnsupported,
+    SeminaiveWellFoundedResult,
     Stratification,
     StratumPlan,
     compile_stratum,
@@ -56,6 +58,8 @@ from repro.engine.seminaive import (
     run_plan,
     seminaive_evaluate,
     seminaive_perfect_model,
+    seminaive_well_founded,
+    seminaive_well_founded_model,
     stratify_program,
 )
 
@@ -82,10 +86,12 @@ __all__ = [
     "evaluate_ground_builtin",
     "is_arithmetic_term",
     "evaluate_aggregate",
+    "LayeredStore",
     "PlanSources",
     "RelationStore",
     "SeminaiveResult",
     "SeminaiveUnsupported",
+    "SeminaiveWellFoundedResult",
     "Stratification",
     "StratumPlan",
     "compile_stratum",
@@ -93,5 +99,7 @@ __all__ = [
     "run_plan",
     "seminaive_evaluate",
     "seminaive_perfect_model",
+    "seminaive_well_founded",
+    "seminaive_well_founded_model",
     "stratify_program",
 ]

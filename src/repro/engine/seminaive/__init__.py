@@ -10,10 +10,16 @@ delta-driven stratum-by-stratum fixpoint
 Entry points::
 
     from repro.engine.seminaive import seminaive_evaluate, seminaive_perfect_model
+    from repro.engine.seminaive import seminaive_well_founded
 
 or, at the API surface the paper experiments use,
-``perfect_model_for_hilog(program, strategy="seminaive")`` and
-``magic_evaluate(program, query, strategy="seminaive")``.
+``perfect_model_for_hilog(program, strategy="seminaive")``,
+``well_founded_for_hilog(program, strategy="seminaive")`` and
+``magic_evaluate(program, query, strategy="seminaive")``.  The
+``seminaive_well_founded`` entry point (the alternating fixpoint of
+:mod:`repro.engine.seminaive.wellfounded`) extends the engine beyond the
+stratified class to programs with cycles through negation, returning the
+three-valued well-founded model.
 """
 
 from repro.engine.seminaive.engine import (
@@ -40,9 +46,25 @@ from repro.engine.seminaive.plan import (
     RegisterProgram,
     compile_rule,
 )
-from repro.engine.seminaive.relation import Relation, RelationStore, predicate_indicator
+from repro.engine.seminaive.relation import (
+    LayeredStore,
+    Relation,
+    RelationStore,
+    predicate_indicator,
+)
+from repro.engine.seminaive.wellfounded import (
+    SeminaiveWellFoundedResult,
+    seminaive_well_founded,
+    seminaive_well_founded_detailed,
+    seminaive_well_founded_model,
+)
 
 __all__ = [
+    "LayeredStore",
+    "SeminaiveWellFoundedResult",
+    "seminaive_well_founded",
+    "seminaive_well_founded_detailed",
+    "seminaive_well_founded_model",
     "EXECUTION_STATS",
     "ExecutionStats",
     "PlanSources",

@@ -27,7 +27,14 @@ Programs outside these classes — variable predicate names combined with
 negation (Example 6.3's parameterized games), recursion through aggregation
 (the parts-explosion component) — raise :class:`SeminaiveUnsupported`;
 callers such as :func:`repro.core.modular.modularly_stratified_for_hilog`
-catch it and fall back to the grounding oracle.
+catch it and fall back to the grounding oracle.  Ground-indicator programs
+with a cycle through negation (win/move games over cyclic graphs) sit in
+between: their three-valued well-founded model is computed semi-naively by
+the alternating-fixpoint evaluator in
+:mod:`repro.engine.seminaive.wellfounded`, built from this module's
+:func:`stratify_program` (``allow_unstratified=True``),
+:func:`evaluate_stratum` (``negation_store=`` phase hooks) and
+:func:`run_plan`.
 
 Beyond one-shot evaluation the module exposes the pieces an *incremental*
 view-maintenance layer (:mod:`repro.db`) composes: :func:`stratify_program`
@@ -106,11 +113,16 @@ class Stratification(NamedTuple):
     ``recursive`` maps each rule to the set of body indicators evaluated in
     the same stratum (the delta-variant sites), or ``None`` for the definite
     single-stratum case where every positive subgoal is potentially
-    recursive.
+    recursive.  ``unstratified`` names the stratum indices containing a
+    negation-SCC — a component with a cycle through negation — which only
+    the alternating-fixpoint evaluator
+    (:mod:`repro.engine.seminaive.wellfounded`) can evaluate; it is empty
+    unless :func:`stratify_program` ran with ``allow_unstratified=True``.
     """
 
     strata: Tuple[Tuple, ...]
     recursive: Dict
+    unstratified: FrozenSet = frozenset()
 
 
 def _literal_indicator(atom):
@@ -131,7 +143,7 @@ def _single_stratum(proper):
     return Stratification((tuple(proper),), {rule: None for rule in proper})
 
 
-def _graph_stratification(program, proper, by_component):
+def _graph_stratification(program, proper, by_component, allow_unstratified=False):
     """Stratify via the predicate-indicator dependency graph.
 
     Raises :class:`SeminaiveUnsupported` when an indicator is non-ground or
@@ -140,8 +152,15 @@ def _graph_stratification(program, proper, by_component):
     assignment, used by incremental maintenance so non-recursive components
     can be maintained by counting); otherwise levels are bumped only across
     negative/aggregate edges, as the one-shot evaluator prefers.
+
+    With ``allow_unstratified`` a cycle through *negation* no longer raises:
+    the affected strata are reported through
+    :attr:`Stratification.unstratified` for the alternating-fixpoint
+    well-founded evaluator.  Cycles through *aggregation* always raise —
+    three-valued aggregation is outside every engine here.
     """
     graph = DependencyGraph()
+    aggregate_pairs = set()
     head_indicators = {}
     body_indicators = {}
     for rule in proper:
@@ -177,19 +196,28 @@ def _graph_stratification(program, proper, by_component):
             # Aggregation behaves like negation for stratification: the
             # condition's extension must be complete before the fold runs.
             graph.add_edge(head, indicator, negative=True)
+            aggregate_pairs.add((head, indicator))
         body_indicators[rule] = indicators
     for rule in program.rules:
         if rule.is_fact() and rule.head.is_ground():
             graph.add_node(predicate_indicator(rule.head))
 
     components, component_of, _edges = graph.condensation()
+    unstratified_components = set()
     for source, target in graph.edges():
         if graph.is_negative_edge(source, target) and \
                 component_of[source] == component_of[target]:
-            raise SeminaiveUnsupported(
-                "recursion through negation/aggregation at %r; the program is "
-                "not stratified" % (source,)
-            )
+            if (source, target) in aggregate_pairs:
+                raise SeminaiveUnsupported(
+                    "recursion through aggregation at %r; no engine here "
+                    "evaluates three-valued aggregation" % (source,)
+                )
+            if not allow_unstratified:
+                raise SeminaiveUnsupported(
+                    "recursion through negation/aggregation at %r; the program is "
+                    "not stratified" % (source,)
+                )
+            unstratified_components.add(component_of[source])
 
     # Components arrive in reverse topological order (dependencies first).
     if by_component:
@@ -214,20 +242,28 @@ def _graph_stratification(program, proper, by_component):
 
     by_level = {}
     recursive = {}
+    unstratified_levels = set()
     for rule in proper:
-        level = indicator_level(head_indicators[rule])
+        head_component = component_of[head_indicators[rule]]
+        level = level_of_component[head_component]
         by_level.setdefault(level, []).append(rule)
+        if head_component in unstratified_components:
+            unstratified_levels.add(level)
         same_level = set()
         for indicator in body_indicators[rule]:
             if indicator is not None and indicator_level(indicator) == level:
                 same_level.add(indicator)
         recursive[rule] = same_level
 
-    strata = tuple(tuple(by_level[level]) for level in sorted(by_level))
-    return Stratification(strata, recursive)
+    levels = sorted(by_level)
+    strata = tuple(tuple(by_level[level]) for level in levels)
+    unstratified = frozenset(
+        index for index, level in enumerate(levels) if level in unstratified_levels
+    )
+    return Stratification(strata, recursive, unstratified)
 
 
-def stratify_program(program, by_component=False):
+def stratify_program(program, by_component=False, allow_unstratified=False):
     """Assign each proper rule of ``program`` to a stratum.
 
     Returns a :class:`Stratification`.  Definite programs normally form a
@@ -238,6 +274,12 @@ def stratify_program(program, by_component=False):
     :class:`SeminaiveUnsupported` when the program mixes negation or
     aggregation with non-ground predicate names, or is not stratified at the
     predicate-indicator level.
+
+    With ``allow_unstratified=True`` a cycle through negation is not an
+    error: the negation-SCC strata are returned (and flagged through
+    :attr:`Stratification.unstratified`) for the alternating-fixpoint
+    evaluator of :mod:`repro.engine.seminaive.wellfounded`.  Cycles through
+    aggregation still raise.
     """
     proper = [rule for rule in program.rules if not rule.is_fact()]
     definite = not program.has_negation() and not program.has_aggregates()
@@ -248,7 +290,7 @@ def stratify_program(program, by_component=False):
             except SeminaiveUnsupported:
                 return _single_stratum(proper)
         return _single_stratum(proper)
-    return _graph_stratification(program, proper, by_component)
+    return _graph_stratification(program, proper, by_component, allow_unstratified)
 
 
 def _delta_sites(rule, recursive_indicators):
@@ -276,13 +318,21 @@ class PlanSources:
     position — see :mod:`repro.db.maintenance`.  A source must implement
     the fetch protocol of :class:`~repro.engine.seminaive.relation.RelationStore`
     (``fetch`` / ``spill`` / ``all_facts`` / ``__contains__``).
+
+    ``negation`` redirects the membership test of negation steps to a
+    different store: the alternating-fixpoint well-founded evaluator
+    (:mod:`repro.engine.seminaive.wellfounded`) resolves each phase's
+    negative subgoals against the *opposite* phase's store — ``not a``
+    holds in the overestimate exactly when ``a`` is not proven true, and in
+    the underestimate exactly when ``a`` is not even possibly true.
     """
 
-    __slots__ = ("store", "delta")
+    __slots__ = ("store", "delta", "negation")
 
-    def __init__(self, store, delta=None):
+    def __init__(self, store, delta=None, negation=None):
         self.store = store
         self.delta = delta
+        self.negation = store if negation is None else negation
 
     def select(self, step):
         """The fact source a fetch step reads from."""
@@ -290,7 +340,7 @@ class PlanSources:
 
     def holds(self, atom):
         """Membership test used by negation steps."""
-        return atom in self.store
+        return atom in self.negation
 
     def aggregate_extension(self, name, arity):
         """The extension an aggregate condition folds over."""
@@ -300,21 +350,29 @@ class PlanSources:
 class ExecutionStats:
     """Cheap global counters over the register executor, for benchmarks:
     ``fetches`` counts index probes, ``candidates`` the facts those probes
-    returned (the join-candidate volume the indexes could not avoid)."""
+    returned (the join-candidate volume the indexes could not avoid), and
+    ``alternations`` the outer over/under rounds the alternating-fixpoint
+    well-founded evaluator ran (0 for purely stratified evaluations)."""
 
     # __weakref__ so the intern-table flush hook can register weakly.
-    __slots__ = ("fetches", "candidates", "__weakref__")
+    __slots__ = ("fetches", "candidates", "alternations", "__weakref__")
 
     def __init__(self):
         self.fetches = 0
         self.candidates = 0
+        self.alternations = 0
 
     def snapshot(self):
-        return {"fetches": self.fetches, "candidates": self.candidates}
+        return {
+            "fetches": self.fetches,
+            "candidates": self.candidates,
+            "alternations": self.alternations,
+        }
 
     def reset(self):
         self.fetches = 0
         self.candidates = 0
+        self.alternations = 0
 
 
 #: Module-level execution counters (see :class:`ExecutionStats`).
@@ -908,7 +966,7 @@ def compile_stratum(rules, recursive):
 
 
 def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
-                     seed_delta=None):
+                     seed_delta=None, negation_store=None):
     """Run the semi-naive fixpoint of one stratum against ``store``.
 
     Without ``seed_delta`` this is the full evaluation: one base pass over
@@ -921,6 +979,11 @@ def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
     entry point: anchor them with per-site update variants first (as
     :func:`repro.db.maintenance.dred_update` does) and inject the heads.
 
+    ``negation_store`` redirects negative subgoals to a different store
+    (see :class:`PlanSources`): the alternating-fixpoint well-founded
+    evaluator runs each phase's fixpoint through this entry point with the
+    opposite phase's store as the negation context.
+
     Returns ``(iterations, added)`` where ``added`` lists the facts newly
     added to the store (excluding the seeds themselves).
     """
@@ -928,7 +991,7 @@ def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
     check_depth = max_term_depth is not None
     if seed_delta is None:
         iterations = 1
-        sources = PlanSources(store)
+        sources = PlanSources(store, negation=negation_store)
         for _rule, plan in stratum.base_plans:
             for head in run_plan(plan, sources, max_results=max_facts):
                 if check_depth:
@@ -946,7 +1009,7 @@ def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
         iterations += 1
         delta_store = DeltaStore(delta)
         delta = []
-        sources = PlanSources(store, delta_store)
+        sources = PlanSources(store, delta_store, negation=negation_store)
         for _rule, _site, plan in stratum.variant_plans:
             for head in run_plan(plan, sources, max_results=max_facts):
                 if check_depth:

@@ -184,6 +184,89 @@ class DeltaStore:
         return bucket is not None and atom in bucket
 
 
+class LayeredStore:
+    """A union read view over a stack of fact stores, adds going to the top.
+
+    The alternating-fixpoint well-founded evaluator
+    (:mod:`repro.engine.seminaive.wellfounded`) reads each overestimate
+    fixpoint from *proven-true atoms ∪ settled possibly-true atoms ∪ the
+    layer being built*, while writing only into that topmost layer — so the
+    (shrinking) overestimate of one alternation can be discarded wholesale
+    by dropping its layer, with no per-fact deletion and no copying of the
+    lower stores.  Layers are disjoint by construction: :meth:`add` refuses
+    atoms already present in a lower layer.
+
+    Serves the register executor's fetch protocol (``fetch`` / ``spill`` /
+    ``all_facts`` / ``__contains__``) by concatenating the layers' answers,
+    and enough of the :class:`RelationStore` surface (``add`` / ``__len__``
+    / ``facts``) for :func:`repro.engine.seminaive.engine.evaluate_stratum`
+    to run a fixpoint straight into the view.
+    """
+
+    __slots__ = ("layers", "top")
+
+    def __init__(self, *layers):
+        if not layers:
+            raise ValueError("LayeredStore needs at least one layer")
+        self.layers = layers
+        self.top = layers[-1]
+
+    def __len__(self):
+        return sum(len(layer) for layer in self.layers)
+
+    def __contains__(self, atom):
+        return any(atom in layer for layer in self.layers)
+
+    def __iter__(self):
+        for layer in self.layers:
+            yield from layer
+
+    def add(self, atom):
+        """Insert into the top layer; ``False`` when present in any layer."""
+        for layer in self.layers:
+            if layer is not self.top and atom in layer:
+                return False
+        return self.top.add(atom)
+
+    def facts(self, name, arity):
+        result = []
+        for layer in self.layers:
+            result.extend(layer.facts(name, arity))
+        return result
+
+    def fetch(self, name, arity, positions, key):
+        result = None
+        exact = True
+        for layer in self.layers:
+            part, part_exact = layer.fetch(name, arity, positions, key)
+            exact = exact and part_exact
+            if part:
+                if result is None:
+                    result = part if isinstance(part, list) else list(part)
+                else:
+                    result.extend(part)
+        return (result if result is not None else ()), exact
+
+    def spill(self, arity, symbol):
+        result = []
+        for layer in self.layers:
+            part, _exact = layer.spill(arity, symbol)
+            result.extend(part)
+        return result, False
+
+    def all_facts(self):
+        result = []
+        for layer in self.layers:
+            part, _exact = layer.all_facts()
+            result.extend(part)
+        return result, False
+
+    def pin_roots(self):
+        """Every layer's atoms, for intern-generation pin sets."""
+        for layer in self.layers:
+            yield from layer
+
+
 class SignedStore:
     """A mutable indicator-bucketed fact set for maintenance deltas.
 

@@ -15,6 +15,13 @@ Two interchangeable engines are provided:
 
 Both engines produce the same :class:`repro.engine.interpretation.Interpretation`
 (the test suite cross-checks them on every program it touches).
+
+A third, non-ground engine lives in :mod:`repro.engine.seminaive.wellfounded`:
+the alternating fixpoint run semi-naively over indexed relations, without
+materializing a ground program.  It reports its results through the same
+:class:`WellFoundedResult` (``engine="seminaive"``, with the outer
+``alternations`` count populated); the two ground engines here remain the
+verification oracles for it.
 """
 
 from __future__ import annotations
@@ -27,11 +34,20 @@ from repro.engine.interpretation import Interpretation
 
 
 class WellFoundedResult(NamedTuple):
-    """The well-founded model plus diagnostics about its computation."""
+    """The well-founded model plus diagnostics about its computation.
+
+    Shared by all three engines: the ground ``wp``/``alternating``
+    constructions here, and the semi-naive alternating fixpoint of
+    :mod:`repro.engine.seminaive.wellfounded`.  ``iterations`` counts the
+    engine's inner fixpoint steps; ``alternations`` the outer over/under
+    rounds (only the semi-naive engine distinguishes the two — the ground
+    engines leave it 0).
+    """
 
     interpretation: Interpretation
     iterations: int
     engine: str
+    alternations: int = 0
 
 
 def tp_operator(ground_program, interpretation):

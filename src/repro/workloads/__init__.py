@@ -7,11 +7,15 @@ package generates parameterized instances of each:
   DAGs, cyclic graphs) used for transitive closure and the win/move game.
 * :mod:`repro.workloads.games` — the win/move game programs of Examples 6.1,
   6.3 and 6.6, in normal, HiLog and Datahilog forms, over generated move
-  relations.
+  relations, plus cyclic-game builders (pure cycles, lines into cycles,
+  escapes, composed moves) and the game-theoretic
+  ``win_move_partition`` reference for three-valued models.
 * :mod:`repro.workloads.parts` — part hierarchies and the parts-explosion
   HiLog program with aggregation (Section 6).
 * :mod:`repro.workloads.random_programs` — random range-restricted normal
-  programs for the reduction-theorem and preservation experiments.
+  programs for the reduction-theorem and preservation experiments, and
+  random *non-stratified* programs (controlled negation cycles) for the
+  well-founded differential-testing harness.
 * :mod:`repro.workloads.closure` — transitive-closure programs (plain,
   Datahilog and higher-order) for the semi-naive scaling benchmark.
 * :mod:`repro.workloads.streams` — update-sequence builders (edge churn,
@@ -33,13 +37,22 @@ from repro.workloads.graphs import (
     tree_edges,
 )
 from repro.workloads.games import (
+    composed_move_game_program,
+    cycle_game_program,
+    cycle_with_escape_game_program,
     datahilog_game_program,
     hilog_game_program,
+    line_into_cycle_game_program,
     normal_game_program,
     multi_game_program,
+    two_hop_moves,
+    win_move_partition,
 )
 from repro.workloads.parts import bicycle_parts_program, parts_explosion_program, random_hierarchy
-from repro.workloads.random_programs import random_range_restricted_program
+from repro.workloads.random_programs import (
+    random_nonstratified_program,
+    random_range_restricted_program,
+)
 from repro.workloads.streams import (
     Update,
     edge_atom,
@@ -62,6 +75,13 @@ __all__ = [
     "hilog_game_program",
     "datahilog_game_program",
     "multi_game_program",
+    "cycle_game_program",
+    "line_into_cycle_game_program",
+    "cycle_with_escape_game_program",
+    "composed_move_game_program",
+    "two_hop_moves",
+    "win_move_partition",
+    "random_nonstratified_program",
     "bicycle_parts_program",
     "parts_explosion_program",
     "random_hierarchy",

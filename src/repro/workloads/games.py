@@ -13,14 +13,26 @@ Three formulations are provided:
 ``multi_game_program`` builds a HiLog (or Datahilog) game program over many
 independent move relations — the workload used by the magic-sets benchmark,
 where a query about one game should not touch the others.
+
+For the non-stratified class — win/move over graphs *with cycles*, whose
+well-founded model is genuinely three-valued — the module provides cyclic
+game builders (:func:`cycle_game_program`, :func:`line_into_cycle_game_program`,
+:func:`cycle_with_escape_game_program`, :func:`composed_move_game_program`)
+plus :func:`win_move_partition`, an independent game-theoretic reference
+for the exact winning/losing/undefined partition: a position is *winning*
+when some move reaches a losing position, *losing* when every move (possibly
+none) reaches a winning position, and *undefined* otherwise — which is the
+well-founded model of the win/move program (every pure cycle is undefined,
+lines alternate, an escape edge from a cycle resolves it).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.hilog.parser import parse_program
 from repro.hilog.program import Program
+from repro.workloads.graphs import cycle_edges
 
 
 def _fact_lines(relation, edges):
@@ -61,6 +73,115 @@ def datahilog_game_program(games, game_name="game", winning_name="winning"):
     for relation in sorted(games):
         lines.extend(_fact_lines(relation, games[relation]))
     return parse_program("\n".join(lines))
+
+
+def cycle_game_program(length, move_name="move", winning_name="winning", prefix="c"):
+    """Win/move over a directed cycle of ``length`` nodes.
+
+    A pure cycle has no sink, so no position is certainly losing and the
+    well-founded model leaves *every* ``winning`` atom undefined — for even
+    and odd lengths alike (parity distinguishes the stable models, not the
+    well-founded one).  Returns ``(program, nodes)``.
+    """
+    edges = cycle_edges(length, prefix)
+    nodes = [prefix + str(i) for i in range(length)]
+    return normal_game_program(edges, move_name, winning_name), nodes
+
+
+def line_into_cycle_game_program(line_length, cycle_length, move_name="move",
+                                 winning_name="winning", line_prefix="t",
+                                 cycle_prefix="c"):
+    """A line of ``line_length`` nodes whose last node moves into a cycle.
+
+    The cycle is undefined, and — because each line node's only move leads
+    toward it — the undefinedness propagates back up the whole line: every
+    position of the program is undefined.  Returns ``(program, line_nodes,
+    cycle_nodes)``.
+    """
+    edges = list(cycle_edges(cycle_length, cycle_prefix))
+    line_nodes = [line_prefix + str(i) for i in range(line_length)]
+    for index in range(line_length - 1):
+        edges.append((line_nodes[index], line_nodes[index + 1]))
+    if line_nodes:
+        edges.append((line_nodes[-1], cycle_prefix + "0"))
+    cycle_nodes = [cycle_prefix + str(i) for i in range(cycle_length)]
+    return normal_game_program(edges, move_name, winning_name), line_nodes, cycle_nodes
+
+
+def cycle_with_escape_game_program(length, escape_from=1, move_name="move",
+                                   winning_name="winning", prefix="c",
+                                   escape_node="out"):
+    """A cycle with one escape edge to a sink: the well-founded model
+    becomes total (the escaping position wins, the rest resolve around the
+    cycle).  Returns ``(program, nodes)``."""
+    edges = list(cycle_edges(length, prefix))
+    edges.append((prefix + str(escape_from), escape_node))
+    nodes = [prefix + str(i) for i in range(length)] + [escape_node]
+    return normal_game_program(edges, move_name, winning_name), nodes
+
+
+def composed_move_game_program(edges, move_name="move", winning_name="winning",
+                               edge_name="edge"):
+    """Win/move where a move is a *double step* along ``edges``:
+    ``move(X, Z) <- edge(X, Y), edge(Y, Z)``.
+
+    The composed join is derived in its own (stratified) stratum below the
+    negation cycle, which is what makes this the E13 benchmark workload:
+    the semi-naive path runs it as one indexed join, while the grounding
+    path instantiates it by scanning every ``edge`` atom per candidate
+    binding — the unindexed-join blowup the register machine avoids.
+    """
+    lines = [
+        "%s(X, Z) :- %s(X, Y), %s(Y, Z)." % (move_name, edge_name, edge_name),
+        "%s(X) :- %s(X, Y), not %s(Y)." % (winning_name, move_name, winning_name),
+    ]
+    lines.extend(_fact_lines(edge_name, edges))
+    return parse_program("\n".join(lines))
+
+
+def two_hop_moves(edges):
+    """The composed move relation ``{(x, z) : edge(x, y), edge(y, z)}`` —
+    the plain-Python reference for :func:`composed_move_game_program`."""
+    successors = {}
+    for source, target in edges:
+        successors.setdefault(source, []).append(target)
+    moves = set()
+    for source, target in edges:
+        for final in successors.get(target, ()):
+            moves.add((source, final))
+    return moves
+
+
+def win_move_partition(edges):
+    """The exact well-founded partition of the win/move game over ``edges``.
+
+    Returns ``(winning, losing, undefined)`` node-name sets, computed by
+    the game-theoretic backward induction (no logic engine involved): a
+    node is winning when some successor is losing, losing when all its
+    successors (possibly none) are winning, undefined otherwise — the
+    standard characterization of the win/move well-founded model.
+    """
+    successors = {}
+    nodes = set()
+    for source, target in edges:
+        successors.setdefault(source, []).append(target)
+        nodes.add(source)
+        nodes.add(target)
+    winning, losing = set(), set()
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node in winning or node in losing:
+                continue
+            outs = successors.get(node, ())
+            if any(target in losing for target in outs):
+                winning.add(node)
+                changed = True
+            elif all(target in winning for target in outs):
+                losing.add(node)
+                changed = True
+    return winning, losing, nodes - winning - losing
 
 
 def multi_game_program(edge_lists, style="hilog", game_name="g", winning_name="w",

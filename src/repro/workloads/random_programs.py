@@ -10,6 +10,16 @@ The generated programs are deliberately modest in size (the check grounds
 them over a HiLog universe fragment) and are stratified by construction so
 that both semantics are total and stable models exist; a switch allows
 unstratified negation for stress tests of the well-founded comparison.
+
+:func:`random_nonstratified_program` targets the class *between* stratified
+and arbitrary normal programs — range-restricted programs with controlled
+cycles through negation (win/move-shaped loops seeded deliberately, plus
+free negation elsewhere).  It feeds the differential-testing harness for
+the well-founded semantics (``tests/engine/test_wellfounded_agreement.py``):
+its samples routinely have genuinely three-valued well-founded models, so
+the semi-naive alternating fixpoint, the ground alternating fixpoint and
+the paper-faithful ``W_P`` iteration can be compared on all three truth
+values instead of only on totals.
 """
 
 from __future__ import annotations
@@ -88,3 +98,62 @@ def random_range_restricted_program(n_predicates=3, n_constants=3, n_facts=6, n_
                                     positive=False))
         rules.append(Rule(head, tuple(body)))
     return Program(tuple(rules))
+
+
+def random_nonstratified_program(n_predicates=4, n_constants=3, n_facts=8,
+                                 n_rules=5, max_body=3, arity=2,
+                                 cycle_length=2, seed=0):
+    """Generate a random range-restricted normal program with a *guaranteed*
+    cycle through negation.
+
+    On top of a :func:`random_range_restricted_program` sample with free
+    negation, ``cycle_length`` win/move-shaped rules are added that close a
+    negation loop through the first ``cycle_length`` predicates::
+
+        p0(X0, X1) :- p1(X0, X1), not p1(X1, X0).   # and cyclically on
+
+    Each rule's positive literal binds every variable (range restriction,
+    Definition 4.1) and its negated predicate is the *next* predicate in
+    the loop, so the predicate dependency graph always has a negative
+    cycle ``p0 -> p1 -> ... -> p0`` — the class the stratified engine
+    refuses and the alternating-fixpoint evaluator exists for.  Whether any
+    ground instance actually loops depends on the random facts, so samples
+    cover total and genuinely partial well-founded models alike.
+    """
+    if cycle_length < 1:
+        raise ValueError("cycle_length must be at least 1")
+    if cycle_length > n_predicates:
+        raise ValueError("cycle_length cannot exceed n_predicates")
+    base = random_range_restricted_program(
+        n_predicates=n_predicates,
+        n_constants=n_constants,
+        n_facts=n_facts,
+        n_rules=n_rules,
+        max_body=max_body,
+        arity=arity,
+        negation="free",
+        seed=seed,
+    )
+    rng = random.Random(seed * 7919 + 13)
+    predicates = [Sym("p%d" % i) for i in range(n_predicates)]
+    variables = [Var("X%d" % i) for i in range(arity)]
+    cycle_rules = []
+    for index in range(cycle_length):
+        head_pred = predicates[index]
+        next_pred = predicates[(index + 1) % cycle_length]
+        head_vars = tuple(variables)
+        # The positive anchor binds every head variable; the negated
+        # literal permutes them so ground loops can actually close.
+        anchor = App(next_pred, head_vars)
+        negated_vars = list(head_vars)
+        rng.shuffle(negated_vars)
+        cycle_rules.append(
+            Rule(
+                App(head_pred, head_vars),
+                (
+                    Literal(anchor),
+                    Literal(App(next_pred, tuple(negated_vars)), positive=False),
+                ),
+            )
+        )
+    return Program(base.rules + tuple(cycle_rules))

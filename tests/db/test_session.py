@@ -182,13 +182,17 @@ class TestStrategies:
 
 
 class TestRecomputeMode:
-    def test_win_move_falls_back_to_recompute(self):
+    def test_win_move_routes_through_wellfounded_fallback(self):
+        # Win/move recurses through negation inside its component, so the
+        # incremental machinery declines — but the session now lands on the
+        # semi-naive well-founded fallback, not the grounding path.
         session = DatabaseSession(normal_game_program([("a", "b"), ("b", "c")]))
-        assert session.mode == "recompute"
+        assert session.mode == "wellfounded"
+        assert session.is_total()
         assert session.ask("winning(b)")
         session.insert("move(c, d).")
         assert session.ask("winning(c)")
-        assert not session.ask("winning(b)")  # b's move now leads to a loser? re-verify
+        assert not session.ask("winning(b)")  # b's move now leads to a winner
         assert session.check()
 
     def test_incremental_strategy_raises_outside_class(self):

@@ -1,0 +1,142 @@
+"""Property tests for sessions over *non-stratified* programs.
+
+These programs used to be bounced to the Figure-1 grounding fallback —
+which outright rejects them once a ground negation loop appears — so a
+session over a cyclic win/move game either crawled or failed.  They now
+route through the semi-naive well-founded fallback: the session maintains
+the three-valued well-founded model under insert/retract/transaction
+churn, and every step is compared against a from-scratch ground oracle
+(and the session's own ``check()``).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import hilog_well_founded_model
+from repro.db import DatabaseSession
+from repro.hilog.parser import parse_program
+from repro.hilog.program import Program, Rule
+from repro.hilog.terms import App, Sym
+
+WIN_MOVE_RULES = """
+    winning(X) :- move(X, Y), not winning(Y).
+"""
+
+#: Win/move plus a stratified stratum reading the (possibly undefined)
+#: game atoms — the strata-mixing shape the alternating evaluator handles.
+MIXED_RULES = """
+    winning(X) :- move(X, Y), not winning(Y).
+    drawn(X) :- node(X), not winning(X), not losing(X).
+    losing(X) :- node(X), not winning(X).
+"""
+
+NODES = ("a", "b", "c", "d")
+
+
+def _atom(name, *args):
+    return App(Sym(name), tuple(Sym(a) for a in args))
+
+
+def _ops():
+    """Candidate facts to toggle: every possible move edge plus node tags
+    (cycles form and break constantly along a random trajectory)."""
+    moves = [_atom("move", x, y) for x in NODES for y in NODES if x != y]
+    nodes = [_atom("node", x) for x in NODES]
+    return st.lists(st.sampled_from(moves + nodes), min_size=1, max_size=20)
+
+
+def _oracle(rules_text, edb):
+    """Ground-oracle partition of the accumulated program."""
+    program = parse_program(rules_text)
+    full = Program(program.rules + tuple(Rule(atom) for atom in sorted(edb, key=repr)))
+    model = hilog_well_founded_model(full)
+    return model.true, model.undefined
+
+
+def _toggle_and_compare(rules_text, operations):
+    session = DatabaseSession(rules_text)
+    assert session.mode == "wellfounded"
+    for atom in operations:
+        if atom in session.edb():
+            summary = session.retract(atom)
+        else:
+            summary = session.insert(atom)
+        assert summary.mode == "wellfounded"
+        true, undefined = _oracle(rules_text, session.edb())
+        assert session.true == true
+        assert session.undefined == undefined
+        assert session.is_total() == (not undefined)
+    assert session.check()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_ops())
+def test_win_move_session_agrees_with_ground_oracle(operations):
+    _toggle_and_compare(WIN_MOVE_RULES, operations)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_ops())
+def test_mixed_strata_session_agrees_with_ground_oracle(operations):
+    _toggle_and_compare(MIXED_RULES, operations)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_ops(), st.integers(min_value=1, max_value=4))
+def test_batched_transactions_agree(operations, batch):
+    session = DatabaseSession(WIN_MOVE_RULES)
+    for start in range(0, len(operations), batch):
+        chunk = operations[start:start + batch]
+        with session.transaction() as txn:
+            staged = set(session.edb())
+            for atom in chunk:
+                if atom in staged:
+                    txn.retract(atom)
+                    staged.discard(atom)
+                else:
+                    txn.insert(atom)
+                    staged.add(atom)
+        true, undefined = _oracle(WIN_MOVE_RULES, session.edb())
+        assert session.true == true
+        assert session.undefined == undefined
+    assert session.check()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_ops())
+def test_summaries_track_the_undefined_partition(operations):
+    """Replaying the summaries' four diffs reconstructs the maintained
+    true/undefined partitions exactly."""
+    session = DatabaseSession(WIN_MOVE_RULES)
+    true = set(session.true)
+    undefined = set(session.undefined)
+    for atom in operations:
+        if atom in session.edb():
+            summary = session.retract(atom)
+        else:
+            summary = session.insert(atom)
+        true |= set(summary.added)
+        true -= set(summary.removed)
+        undefined |= set(summary.undefined_added)
+        undefined -= set(summary.undefined_removed)
+        assert true == session.true
+        assert undefined == session.undefined
+
+
+def test_value_and_query_on_partial_model():
+    session = DatabaseSession(WIN_MOVE_RULES)
+    session.insert("move(a, b). move(b, a). move(c, a). move(d, e).")
+    assert session.value("winning(a)") == "undefined"
+    assert session.value("winning(d)") == "true"
+    assert session.value("winning(e)") == "false"
+    assert not session.ask("winning(a)")  # undefined is not certainly true
+    # Queries answer from the certainly-true store.
+    assert {repr(a) for a in session.query("winning(X)")} == {"winning(d)"}
+    stats = session.stats()
+    assert stats["mode"] == "wellfounded"
+    assert stats["undefined_facts"] == 3
+    assert stats["wellfounded_updates"] == 1

@@ -1,0 +1,155 @@
+"""Differential-testing harness for the well-founded semantics.
+
+Three independent implementations of the well-founded model are compared
+atom-for-atom on random *non-stratified* normal programs (controlled
+negation cycles, :func:`repro.workloads.random_programs.random_nonstratified_program`):
+
+* the semi-naive alternating fixpoint on the register machine
+  (:func:`repro.engine.seminaive.seminaive_well_founded`) — the fast path
+  this harness exists to keep honest;
+* the ground alternating fixpoint (``engine="alternating"``) over the
+  relevance-grounded program;
+* the paper-faithful ``W_P`` iteration (``engine="wp"``, Definitions
+  3.3–3.5) over the same ground program.
+
+On every sample all three must agree on the full true/undefined/false
+partition (the ground engines' larger atom bases only add false atoms, so
+equal true and undefined sets mean agreement on every atom).  The sampler
+is biased so a sizable fraction of samples have genuinely three-valued
+models — totals alone would leave the undefined bookkeeping untested.
+
+Each hypothesis example runs inside the ``isolate_example`` fixture
+(``tests/conftest.py``): execution counters reset per example and the
+example's terms are generation-scoped and swept, so hundreds of random
+programs cannot cross-contaminate counters or intern tables.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.modular import perfect_model_for_hilog
+from repro.core.semantics import well_founded_for_hilog
+from repro.engine.grounding import relevant_ground_program
+from repro.engine.seminaive import SeminaiveUnsupported, seminaive_well_founded
+from repro.engine.wellfounded import well_founded_model
+from repro.hilog.errors import GroundingError, StratificationError
+from repro.workloads.random_programs import (
+    random_nonstratified_program,
+    random_range_restricted_program,
+)
+
+#: Sample shapes: (predicates, constants, facts, rules, max body, cycle len).
+#: Mirrors (and exceeds) the shape x seed coverage of the existing
+#: seminaive agreement suite, but over the non-stratified class.
+SHAPES = [
+    (3, 3, 6, 4, 3, 2),
+    (4, 3, 8, 5, 3, 2),
+    (4, 4, 10, 6, 3, 3),
+    (5, 3, 8, 7, 2, 4),
+    (3, 2, 4, 3, 2, 1),
+]
+
+
+def _sample(shape, seed):
+    n_predicates, n_constants, n_facts, n_rules, max_body, cycle_length = shape
+    return random_nonstratified_program(
+        n_predicates=n_predicates,
+        n_constants=n_constants,
+        n_facts=n_facts,
+        n_rules=n_rules,
+        max_body=max_body,
+        cycle_length=cycle_length,
+        seed=seed,
+    )
+
+
+def _assert_three_way_agreement(program):
+    """seminaive WFS ≡ ground alternating ≡ W_P on true/undefined/false."""
+    try:
+        seminaive = seminaive_well_founded(program)
+    except (SeminaiveUnsupported, GroundingError):
+        # Outside the semi-naive class (or over the caps): the entry-point
+        # fallback must still answer through the grounding oracle.
+        fallback = well_founded_for_hilog(program, strategy="seminaive")
+        oracle = well_founded_for_hilog(program)
+        assert fallback.true == oracle.true
+        assert fallback.undefined == oracle.undefined
+        return None
+    ground = relevant_ground_program(program)
+    alternating = well_founded_model(ground, engine="alternating")
+    wp = well_founded_model(ground, engine="wp")
+    # The two ground engines agree with each other...
+    assert alternating.true == wp.true
+    assert alternating.false == wp.false
+    # ...and the register-machine alternation matches their partition.
+    assert seminaive.true == alternating.true
+    assert seminaive.undefined == alternating.undefined
+    # Everything the seminaive run never materialized is false by closed
+    # world — so it must not be true/undefined in the ground base either.
+    assert alternating.undefined <= seminaive.true | seminaive.undefined
+    return seminaive
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=[str(s) for s in SHAPES])
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_wellfounded_engines_agree_on_nonstratified_programs(
+        shape, seed, isolate_example):
+    with isolate_example():
+        _assert_three_way_agreement(_sample(shape, seed))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_wellfounded_engines_agree_on_free_negation_programs(
+        seed, isolate_example):
+    """The unconstrained free-negation sampler, for shapes the cycle-seeded
+    generator cannot produce."""
+    with isolate_example():
+        program = random_range_restricted_program(
+            n_predicates=4, n_constants=3, n_facts=8, n_rules=6,
+            max_body=3, negation="free", seed=seed,
+        )
+        _assert_three_way_agreement(program)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_partial_models_refute_modular_stratification(seed, isolate_example):
+    """Theorem 6.1 differentially: whenever the semi-naive well-founded
+    model is partial, both strategies of ``perfect_model_for_hilog`` must
+    reject the program (and the seminaive strategy must reject it without
+    grounding — this is its fast negative verdict)."""
+    with isolate_example():
+        program = _sample(SHAPES[1], seed)
+        try:
+            result = seminaive_well_founded(program)
+        except (SeminaiveUnsupported, GroundingError):
+            return
+        if result.is_total():
+            return
+        with pytest.raises(StratificationError):
+            perfect_model_for_hilog(program, strategy="seminaive")
+        with pytest.raises(StratificationError):
+            perfect_model_for_hilog(program)
+
+
+def test_sampler_produces_partial_models():
+    """The differential harness is only as good as its sampler: a healthy
+    fraction of samples must have genuinely three-valued models."""
+    partial = 0
+    for seed in range(40):
+        try:
+            result = seminaive_well_founded(_sample(SHAPES[0], seed))
+        except (SeminaiveUnsupported, GroundingError):
+            continue
+        if not result.is_total():
+            partial += 1
+    assert partial >= 4
