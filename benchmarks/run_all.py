@@ -48,13 +48,16 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
 
 #: The subset exercised by the CI smoke step: the incremental-maintenance
-#: acceptance benchmark, the intern-table memory gate and the well-founded
-#: alternating-fixpoint gate (all fast, all assert their acceptance bars —
-#: speedup, bounded memory, and the non-stratified speedup respectively).
+#: acceptance benchmark, the intern-table memory gate, the well-founded
+#: alternating-fixpoint gate and the concurrent-serving gate (all fast, all
+#: assert their acceptance bars — speedup, bounded memory, the
+#: non-stratified speedup, and zero consistency violations + the writer
+#: batching speedup respectively).
 SMOKE = (
     "bench_e11_incremental.py",
     "bench_e12_memory.py",
     "bench_e13_wellfounded.py",
+    "bench_e14_serving.py",
 )
 
 

@@ -28,6 +28,7 @@ from repro.db.maintenance import Delta, counting_update, dred_update, recompute_
 from repro.db.plans import COUNTING, DRED, RECOMPUTE, MaintenancePlans, build_maintenance_plans
 from repro.db.session import (
     DatabaseSession,
+    SessionError,
     SessionIntegrityError,
     Transaction,
     UpdateSummary,
@@ -38,6 +39,7 @@ __all__ = [
     "DatabaseSession",
     "Transaction",
     "UpdateSummary",
+    "SessionError",
     "SessionIntegrityError",
     "open_session",
     "Delta",

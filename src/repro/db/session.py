@@ -94,7 +94,13 @@ WELLFOUNDED = "wellfounded"
 RECOMPUTE_MODE = "recompute"
 
 
-class SessionIntegrityError(HiLogError):
+class SessionError(HiLogError):
+    """Misuse of the session API — e.g. opening a nested transaction while
+    another is still staging, or operating on a committed/rolled-back
+    transaction."""
+
+
+class SessionIntegrityError(SessionError):
     """The maintained model diverged from the from-scratch model — an
     incremental maintenance bug surfaced by :meth:`DatabaseSession.check`."""
 
@@ -127,36 +133,60 @@ class Transaction:
     Usable as a context manager: a clean exit commits, an exception rolls
     the staged operations back (the session is untouched either way until
     commit).  Within one transaction the *last* operation on an atom wins.
+
+    A session allows **one open transaction at a time**: opening a second
+    before the first commits or rolls back raises :class:`SessionError`
+    (interleaved staging used to corrupt silently — two batches would race
+    on the same pin registry and commit each other's halves), as does
+    staging into or re-committing a transaction that is already closed.
     """
 
     def __init__(self, session):
         self._session = session
         self._ops = []
         self._result = None
+        self._closed = False
         # Tracked (weakly) so the session's pin provider keeps staged atoms
         # interned if an intern collection runs between staging and commit.
         session._transactions.add(self)
 
+    def _check_open(self, action):
+        if self._closed:
+            raise SessionError(
+                "cannot %s: this transaction is already %s" % (
+                    action, "committed" if self._result is not None
+                    else "rolled back",
+                )
+            )
+
     def insert(self, facts):
         """Stage assertions."""
+        self._check_open("insert")
         for atom in self._session._coerce_in_generation(facts):
             self._ops.append(("insert", atom))
         return self
 
     def retract(self, facts):
         """Stage retractions."""
+        self._check_open("retract")
         for atom in self._session._coerce_in_generation(facts):
             self._ops.append(("retract", atom))
         return self
 
     def commit(self):
-        """Apply the staged batch; returns the :class:`UpdateSummary`."""
+        """Apply the staged batch; returns the :class:`UpdateSummary`.
+
+        Closes the transaction whether or not the batch applies cleanly —
+        a failed commit's staged operations are gone, not silently
+        retryable against a store the failure may have rebuilt."""
+        self._check_open("commit")
         final = {}
         for action, atom in self._ops:
             final[atom] = action
         inserts = [atom for atom, action in final.items() if action == "insert"]
         retracts = [atom for atom, action in final.items() if action == "retract"]
         self._ops = []
+        self._closed = True
         session = self._session
         with intern_generation():
             self._result = session._apply(inserts, retracts)
@@ -164,8 +194,10 @@ class Transaction:
         return self._result
 
     def rollback(self):
-        """Discard the staged operations."""
+        """Discard the staged operations and close the transaction
+        (idempotent — rolling back twice is a no-op)."""
         self._ops = []
+        self._closed = True
 
     @property
     def result(self):
@@ -297,6 +329,8 @@ class DatabaseSession:
         self._intern_gc_every = intern_gc
         self._updates_since_collect = 0
         self._transactions = weakref.WeakSet()
+        self._active_transaction = None
+        self._update_listeners = []
         self._pinned = {}
         try:
             self._materialize()
@@ -443,13 +477,35 @@ class DatabaseSession:
         canonical) objects after a collection."""
         self._parse_cache.clear()
 
+    def add_update_listener(self, listener):
+        """Register ``listener(summary)`` to run after every applied update
+        (insert/retract/update/transaction commit), before any automatic
+        intern sweep — the **epoch publication hook** the serving layer
+        (:mod:`repro.serve`) uses to turn each maintained batch into an
+        immutable reader snapshot while the summary's atoms are still
+        guaranteed canonical.  Listeners run on the updating thread, in
+        registration order; exceptions propagate to the updater."""
+        self._update_listeners.append(listener)
+        return listener
+
+    def remove_update_listener(self, listener):
+        """Unregister a listener added by :meth:`add_update_listener`
+        (no-op when absent)."""
+        try:
+            self._update_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _after_update(self, result):
-        """Post-update bookkeeping: trigger the automatic intern sweep when
-        ``intern_gc`` is configured (skipped while any generation is open —
-        an enclosing computation's terms are not yet pinnable).  The
-        update's own summary is pinned through the sweep: its removed atoms
-        just left the store, but the caller has not even received them yet,
-        so evicting them here would hand back stale twins."""
+        """Post-update bookkeeping: notify update listeners (the serving
+        layer's epoch publication hook), then trigger the automatic intern
+        sweep when ``intern_gc`` is configured (skipped while any generation
+        is open — an enclosing computation's terms are not yet pinnable).
+        The update's own summary is pinned through the sweep: its removed
+        atoms just left the store, but the caller has not even received them
+        yet, so evicting them here would hand back stale twins."""
+        for listener in tuple(self._update_listeners):
+            listener(result)
         self._updates_since_collect += 1
         every = self._intern_gc_every
         if every is not None and self._updates_since_collect >= every \
@@ -537,8 +593,25 @@ class DatabaseSession:
         return result
 
     def transaction(self):
-        """A :class:`Transaction` staging updates for one atomic commit."""
-        return Transaction(self)
+        """A :class:`Transaction` staging updates for one atomic commit.
+
+        Raises :class:`SessionError` while a previously opened transaction
+        is still staging (not yet committed or rolled back): interleaving
+        two staging batches on one session corrupts the last-operation-wins
+        merge and the pin bookkeeping, so re-entrant/nested use is rejected
+        up front.  A transaction that is simply dropped (garbage collected)
+        without closing releases the slot."""
+        active = self._active_transaction() \
+            if self._active_transaction is not None else None
+        if active is not None and not active._closed:
+            raise SessionError(
+                "a transaction is already open on this session; commit or "
+                "roll it back before opening another (nested/re-entrant "
+                "transactions are not supported)"
+            )
+        transaction = Transaction(self)
+        self._active_transaction = weakref.ref(transaction)
+        return transaction
 
     def _owning_stratum(self, atom):
         """The stratum index defining the atom's predicate, or ``None`` for

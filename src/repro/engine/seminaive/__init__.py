@@ -48,6 +48,7 @@ from repro.engine.seminaive.plan import (
 )
 from repro.engine.seminaive.relation import (
     LayeredStore,
+    OverlayStore,
     Relation,
     RelationStore,
     predicate_indicator,
@@ -61,6 +62,7 @@ from repro.engine.seminaive.wellfounded import (
 
 __all__ = [
     "LayeredStore",
+    "OverlayStore",
     "SeminaiveWellFoundedResult",
     "seminaive_well_founded",
     "seminaive_well_founded_detailed",

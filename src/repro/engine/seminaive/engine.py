@@ -49,6 +49,8 @@ position).
 
 from __future__ import annotations
 
+import contextvars as _contextvars
+
 from typing import Dict, FrozenSet, NamedTuple, Optional, Tuple
 
 from repro.engine.aggregates import evaluate_aggregate
@@ -347,32 +349,92 @@ class PlanSources:
         return self.store.facts(name, arity)
 
 
-class ExecutionStats:
-    """Cheap global counters over the register executor, for benchmarks:
-    ``fetches`` counts index probes, ``candidates`` the facts those probes
-    returned (the join-candidate volume the indexes could not avoid), and
-    ``alternations`` the outer over/under rounds the alternating-fixpoint
-    well-founded evaluator ran (0 for purely stratified evaluations)."""
+class _StatsCounters:
+    """The plain mutable cell behind :class:`ExecutionStats` — one per
+    execution context, handed to the register executor's hot loops so an
+    increment is a slot write, not a property call."""
 
-    # __weakref__ so the intern-table flush hook can register weakly.
-    __slots__ = ("fetches", "candidates", "alternations", "__weakref__")
+    __slots__ = ("fetches", "candidates", "alternations")
 
     def __init__(self):
         self.fetches = 0
         self.candidates = 0
         self.alternations = 0
 
+
+#: The context-local counter cell.  ``contextvars`` gives every thread (and
+#: every asyncio task) its own slot, so concurrent readers in the serving
+#: subsystem (:mod:`repro.serve`) accumulate independently instead of
+#: interleaving ``+=`` read-modify-write cycles on shared integers.
+_STATS_VAR = _contextvars.ContextVar("repro_execution_stats")
+
+
+class ExecutionStats:
+    """Cheap counters over the register executor, for benchmarks:
+    ``fetches`` counts index probes, ``candidates`` the facts those probes
+    returned (the join-candidate volume the indexes could not avoid), and
+    ``alternations`` the outer over/under rounds the alternating-fixpoint
+    well-founded evaluator ran (0 for purely stratified evaluations).
+
+    The counters are **context-local** (per thread / per asyncio task, via
+    :mod:`contextvars`): two threads evaluating concurrently each see only
+    their own counts, so parallel readers never corrupt each other's
+    numbers.  The module-level :data:`EXECUTION_STATS` is a facade whose
+    attribute reads/writes and :meth:`snapshot`/:meth:`reset` act on the
+    calling context's cell — single-threaded callers (the benchmarks, the
+    tests) observe exactly the old global-counter behaviour."""
+
+    # __weakref__ so the intern-table flush hook can register weakly.
+    __slots__ = ("__weakref__",)
+
+    @staticmethod
+    def counters():
+        """The calling context's mutable counter cell (created on first
+        use).  Hot loops hoist this once per fetch instead of paying a
+        property dispatch per increment."""
+        cell = _STATS_VAR.get(None)
+        if cell is None:
+            cell = _StatsCounters()
+            _STATS_VAR.set(cell)
+        return cell
+
+    @property
+    def fetches(self):
+        return self.counters().fetches
+
+    @fetches.setter
+    def fetches(self, value):
+        self.counters().fetches = value
+
+    @property
+    def candidates(self):
+        return self.counters().candidates
+
+    @candidates.setter
+    def candidates(self, value):
+        self.counters().candidates = value
+
+    @property
+    def alternations(self):
+        return self.counters().alternations
+
+    @alternations.setter
+    def alternations(self, value):
+        self.counters().alternations = value
+
     def snapshot(self):
+        cell = self.counters()
         return {
-            "fetches": self.fetches,
-            "candidates": self.candidates,
-            "alternations": self.alternations,
+            "fetches": cell.fetches,
+            "candidates": cell.candidates,
+            "alternations": cell.alternations,
         }
 
     def reset(self):
-        self.fetches = 0
-        self.candidates = 0
-        self.alternations = 0
+        cell = self.counters()
+        cell.fetches = 0
+        cell.candidates = 0
+        cell.alternations = 0
 
 
 #: Module-level execution counters (see :class:`ExecutionStats`).
@@ -522,7 +584,7 @@ def _run_register_ops(ops, position, sources, regs, slot_of, rule):
     next_position = position + 1
     if kind == R_FETCH:
         facts, exact, runtime_name = _fetch_candidates(op, sources, regs)
-        stats = EXECUTION_STATS
+        stats = EXECUTION_STATS.counters()
         stats.fetches += 1
         stats.candidates += len(facts)
         last = next_position == len(ops)
@@ -582,7 +644,7 @@ def _run_ops_collect(ops, position, sources, regs, slot_of, rule, sink):
     next_position = position + 1
     if kind == R_FETCH:
         facts, exact, runtime_name = _fetch_candidates(op, sources, regs)
-        stats = EXECUTION_STATS
+        stats = EXECUTION_STATS.counters()
         stats.fetches += 1
         stats.candidates += len(facts)
         last = next_position == len(ops)
@@ -792,7 +854,7 @@ def _ops_satisfiable(ops, position, sources, regs, slot_of, rule):
     next_position = position + 1
     if kind == R_FETCH:
         facts, exact, runtime_name = _fetch_candidates(op, sources, regs)
-        stats = EXECUTION_STATS
+        stats = EXECUTION_STATS.counters()
         stats.fetches += 1
         stats.candidates += len(facts)
         last = next_position == len(ops)

@@ -33,11 +33,23 @@ Lookups with a *non-ground* predicate name (the higher-order case, e.g. the
 body literal ``M(X, Y)`` before ``M`` is bound) fall back to a spill scan
 over every relation of the right arity, optionally narrowed by the
 outermost symbol of the pattern's name.
+
+For the concurrent serving subsystem (:mod:`repro.serve`) the store grows
+*snapshot* machinery: :meth:`RelationStore.snapshot` produces an O(n)
+structural copy, :meth:`RelationStore.freeze` turns a store immutable
+(mutators raise :class:`FrozenStoreError`; lazy index building remains
+legal — it is idempotent over frozen facts, so concurrent readers can
+race it safely), and :class:`OverlayStore` is an immutable copy-on-write
+view layering a batch's added/removed atoms over a frozen base.  Frozen
+bases and overlays both carry **epoch refcounts**
+(:meth:`~RelationStore.acquire` / :meth:`~RelationStore.release`): each
+live reader epoch holds one reference, so the serving layer knows when a
+layer is unreachable and may drop it from intern-GC pin sets.
 """
 
 from __future__ import annotations
 
-from repro.hilog.errors import GroundingError
+from repro.hilog.errors import FrozenStoreError, GroundingError
 from repro.hilog.terms import App, Var, outermost_symbol
 
 
@@ -267,6 +279,214 @@ class LayeredStore:
             yield from layer
 
 
+class OverlayStore:
+    """An immutable read view layering net added/removed atoms over a frozen
+    base store — the snapshot representation of one serving **epoch**
+    (:mod:`repro.serve.epochs`).
+
+    The serving writer maintains its model in place; concurrent readers
+    must never observe a half-applied batch.  Rather than copying the whole
+    store per batch, an epoch is published as ``base ⊕ overlay``: a frozen
+    :class:`RelationStore` snapshot shared by many epochs, plus this view's
+    private net diff — ``added`` atoms bucketed by indicator and a
+    ``removed`` tombstone set (both relative to the *base*, with successive
+    batches collapsed via ``previous`` at construction, so reads always
+    consult exactly one overlay regardless of how many batches separate the
+    epoch from its base).  The view is never mutated after construction,
+    and the base is frozen, so reads need no locks; writes go to the next
+    epoch's overlay instead (copy-on-write at the batch granularity).
+
+    Serves the register executor's fetch protocol (``fetch`` / ``spill`` /
+    ``all_facts`` / ``__contains__``) and the query-answering surface of
+    :class:`RelationStore` (``facts`` / ``candidates``), in both cases by
+    filtering the base's answer through the tombstones and appending the
+    matching additions.  Like :class:`DeltaStore`, addition fetches ignore
+    the index key (the executor re-verifies every argument position, and
+    :func:`~repro.core.magic.evaluate.answer_from_store` re-matches), so
+    they may over-return but never under-return.
+
+    Carries the same epoch refcount surface as a frozen base
+    (:meth:`acquire` / :meth:`release`).
+    """
+
+    __slots__ = ("base", "refs", "_added", "_added_members", "_removed",
+                 "_count")
+
+    def __init__(self, base, added=(), removed=(), previous=None):
+        if previous is not None:
+            if previous.base is not base:
+                raise ValueError("previous overlay must share the same base")
+            buckets = {key: dict(bucket)
+                       for key, bucket in previous._added.items()}
+            members = set(previous._added_members)
+            tombstones = set(previous._removed)
+        else:
+            buckets = {}
+            members = set()
+            tombstones = set()
+        # Net out the batch: a removal of an overlay-added atom cancels the
+        # addition; a removal of a base atom becomes a tombstone; an
+        # addition of a tombstoned base atom cancels the tombstone; anything
+        # else is a genuinely new atom.  Batches report exact model diffs
+        # (UpdateSummary.added/removed), so the four cases are exhaustive.
+        for atom in removed:
+            if atom in members:
+                members.discard(atom)
+                indicator = predicate_indicator(atom)
+                bucket = buckets.get(indicator)
+                if bucket is not None:
+                    bucket.pop(atom, None)
+                    if not bucket:
+                        del buckets[indicator]
+            else:
+                tombstones.add(atom)
+        for atom in added:
+            if atom in tombstones:
+                tombstones.discard(atom)
+            elif atom not in members:
+                members.add(atom)
+                buckets.setdefault(predicate_indicator(atom), {})[atom] = None
+        self.base = base
+        self._added = buckets
+        self._added_members = members
+        self._removed = tombstones
+        self._count = len(base) - len(tombstones) + len(members)
+        self.refs = 0
+
+    def __len__(self):
+        return self._count
+
+    def __contains__(self, atom):
+        if atom in self._added_members:
+            return True
+        return atom in self.base and atom not in self._removed
+
+    def __iter__(self):
+        removed = self._removed
+        if removed:
+            for atom in self.base:
+                if atom not in removed:
+                    yield atom
+        else:
+            yield from self.base
+        yield from self._added_members
+
+    def overlay_size(self):
+        """Total overlay volume (additions + tombstones) — the serving
+        layer's rebase trigger: when this grows past a fraction of the base,
+        publishing a fresh frozen snapshot is cheaper than filtering."""
+        return len(self._added_members) + len(self._removed)
+
+    def acquire(self):
+        """Take one epoch reference (the base is *not* acquired here — the
+        epoch manager tracks base and overlay references separately)."""
+        self.refs += 1
+        return self.refs
+
+    def release(self):
+        if self.refs > 0:
+            self.refs -= 1
+        return self.refs
+
+    def facts(self, name, arity):
+        result = [atom for atom in self.base.facts(name, arity)
+                  if atom not in self._removed]
+        bucket = self._added.get((name, arity))
+        if bucket:
+            result.extend(bucket)
+        return result
+
+    def fetch(self, name, arity, positions, key):
+        facts, exact = self.base.fetch(name, arity, positions, key)
+        removed = self._removed
+        if removed:
+            facts = [atom for atom in facts if atom not in removed]
+        bucket = self._added.get((name, arity))
+        if bucket:
+            facts = list(facts)
+            facts.extend(bucket)
+        return facts, exact
+
+    def spill(self, arity, symbol):
+        facts, _exact = self.base.spill(arity, symbol)
+        removed = self._removed
+        if removed:
+            facts = [atom for atom in facts if atom not in removed]
+        extra = []
+        for (name, bucket_arity), bucket in self._added.items():
+            if bucket_arity != arity:
+                continue
+            if symbol is not None and outermost_symbol(name) is not symbol:
+                continue
+            extra.extend(bucket)
+        if extra:
+            facts = list(facts)
+            facts.extend(extra)
+        return facts, False
+
+    def all_facts(self):
+        facts, _exact = self.base.all_facts()
+        removed = self._removed
+        if removed:
+            facts = [atom for atom in facts if atom not in removed]
+        if self._added_members:
+            facts = list(facts)
+            facts.extend(self._added_members)
+        return facts, False
+
+    def candidates(self, pattern, subst, index_positions=()):
+        """Facts that could match ``pattern`` under ``subst`` — the
+        higher-order query path of
+        :func:`~repro.core.magic.evaluate.answer_from_store`.  The base's
+        candidate scan is filtered through the tombstones; the overlay side
+        over-approximates by listing every added atom of a compatible shape
+        (callers re-match every candidate)."""
+        result = [atom for atom in
+                  self.base.candidates(pattern, subst, index_positions)
+                  if atom not in self._removed]
+        if not self._added_members:
+            return result
+        if isinstance(pattern, App):
+            name = subst.apply(pattern.name)
+            arity = len(pattern.args)
+            if name.is_ground():
+                bucket = self._added.get((name, arity))
+                if bucket:
+                    result.extend(bucket)
+            else:
+                for (_name, bucket_arity), bucket in self._added.items():
+                    if bucket_arity == arity:
+                        result.extend(bucket)
+        else:
+            resolved = subst.apply(pattern) if isinstance(pattern, Var) else pattern
+            if isinstance(resolved, Var):
+                result.extend(self._added_members)
+            else:
+                bucket = self._added.get(predicate_indicator(resolved))
+                if bucket:
+                    result.extend(bucket)
+        return result
+
+    def pin_roots(self):
+        """Every atom the view can reach, for intern-generation pin sets.
+        The base is pinned in full (tombstoned atoms included — they are
+        still keys of the view's own sets, and over-pinning a retiring
+        layer is bounded by the layer's lifetime)."""
+        yield from self.base.pin_roots()
+        yield from self._added_members
+        yield from self._removed
+
+    def stats(self):
+        """Diagnostic summary mirroring :meth:`RelationStore.stats`."""
+        base = self.base.stats()
+        base.update(
+            facts=self._count,
+            overlay_added=len(self._added_members),
+            overlay_removed=len(self._removed),
+        )
+        return base
+
+
 class SignedStore:
     """A mutable indicator-bucketed fact set for maintenance deltas.
 
@@ -352,7 +572,8 @@ class SignedStore:
 class RelationStore:
     """A database of ground atoms partitioned into indexed relations."""
 
-    __slots__ = ("_relations", "_by_arity", "_members", "_count", "_supports")
+    __slots__ = ("_relations", "_by_arity", "_members", "_count", "_supports",
+                 "_frozen", "refs")
 
     def __init__(self, facts=()):
         self._relations = {}
@@ -362,6 +583,9 @@ class RelationStore:
         # atom -> number of supports (derivations / assertions); every stored
         # atom has an entry, plain add() gives exactly one support.
         self._supports = {}
+        self._frozen = False
+        #: Epoch refcount (see :meth:`acquire`); 0 outside the serving layer.
+        self.refs = 0
         for atom in facts:
             self.add(atom)
 
@@ -374,6 +598,54 @@ class RelationStore:
     def __iter__(self):
         return iter(self._members)
 
+    # -- snapshot / epoch support -------------------------------------------
+
+    def freeze(self):
+        """Make the store immutable: every later mutator raises
+        :class:`~repro.hilog.errors.FrozenStoreError`.  Reads — including
+        first-use lazy index building, which is idempotent over the frozen
+        fact set — stay legal, so frozen stores are safe to share across
+        concurrent reader threads.  Returns ``self`` for chaining."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self):
+        """Whether :meth:`freeze` has been called."""
+        return self._frozen
+
+    def snapshot(self):
+        """An O(n) structural copy of the current facts (no indexes, no
+        support counts — snapshots are read views, the serving layer freezes
+        them immediately).  Indexes rebuild lazily on the copy's own first
+        lookups, so a snapshot never shares mutable state with its source."""
+        clone = RelationStore.__new__(RelationStore)
+        clone._members = set(self._members)
+        clone._count = self._count
+        clone._supports = {}
+        clone._relations = {}
+        clone._by_arity = {}
+        clone._frozen = False
+        clone.refs = 0
+        for indicator, relation in self._relations.items():
+            copy = Relation(indicator)
+            copy.facts = dict(relation.facts)
+            clone._relations[indicator] = copy
+            clone._by_arity.setdefault(indicator[1], []).append(copy)
+        return clone
+
+    def acquire(self):
+        """Take one epoch reference (the serving layer's layer-liveness
+        bookkeeping — see :mod:`repro.serve.epochs`); returns the new count."""
+        self.refs += 1
+        return self.refs
+
+    def release(self):
+        """Drop one epoch reference; returns the new count (never below 0)."""
+        if self.refs > 0:
+            self.refs -= 1
+        return self.refs
+
     def add(self, atom):
         """Insert a ground atom; return ``True`` when it was new.
 
@@ -382,6 +654,8 @@ class RelationStore:
         """
         if atom in self._members:
             return False
+        if self._frozen:
+            raise FrozenStoreError("cannot add %r to a frozen store" % (atom,))
         if not atom.is_ground():
             raise GroundingError("cannot store non-ground atom %r" % (atom,))
         self._members.add(atom)
@@ -401,6 +675,8 @@ class RelationStore:
         it was present.  Every materialized index is kept current."""
         if atom not in self._members:
             return False
+        if self._frozen:
+            raise FrozenStoreError("cannot remove %r from a frozen store" % (atom,))
         self._members.discard(atom)
         self._count -= 1
         del self._supports[atom]
@@ -416,6 +692,8 @@ class RelationStore:
         became present (was previously unsupported)."""
         if count <= 0:
             raise ValueError("support increment must be positive")
+        if self._frozen:
+            raise FrozenStoreError("cannot add support on a frozen store")
         if atom in self._members:
             self._supports[atom] += count
             return False
@@ -430,6 +708,8 @@ class RelationStore:
         ``count`` — the counting invariant was broken."""
         if count <= 0:
             raise ValueError("support decrement must be positive")
+        if self._frozen:
+            raise FrozenStoreError("cannot remove support on a frozen store")
         current = self._supports.get(atom, 0)
         if current < count:
             raise GroundingError(

@@ -59,3 +59,11 @@ class GenerationError(HiLogError):
     a generation is still open — in-flight computations hold terms in
     places no pin provider can see, so sweeping then could split a live
     term's identity."""
+
+
+class FrozenStoreError(HiLogError):
+    """Raised when a mutator is invoked on a frozen relation store.
+
+    Snapshot epochs (:mod:`repro.serve`) freeze the stores concurrent
+    readers see; any attempt to add or remove facts through a frozen view
+    is a bug in the caller, not a recoverable condition."""

@@ -65,11 +65,22 @@ Monitor with :func:`intern_table_sizes` (live per-constructor counts) and
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 from typing import Dict, Iterable, Iterator, Set, Tuple, Union
 
 from repro.hilog.errors import GenerationError
+
+#: Guards the intern tables' *construction* (miss) path and the eviction
+#: sweep, so two threads interning the same new structure concurrently
+#: cannot each insert a twin (which would break identity-based equality).
+#: The hit path stays lock-free: dictionary probes are atomic under the
+#: GIL, and a hit never mutates a table.  Contention is negligible — the
+#: serving subsystem's readers mostly *hit* (their queries mention terms
+#: the model already interned), and construction is dwarfed by the
+#: dictionary work it guards.
+_INTERN_LOCK = threading.RLock()
 
 #: Global intern (hash-consing) tables, one per constructor.  Num gets its
 #: own table so ``Num(1)`` and ``Sym("1")`` stay distinct objects.
@@ -391,18 +402,22 @@ def collect_generation(pins=(), generations=None):
     # Sweep: evict the unpinned, keep survivors in their birth pool.
     # Terms promoted to immortality since birth (generation 0) are dropped
     # from the pool without eviction — their table entries are permanent.
-    for gen in target:
-        pool = _GEN_POOLS.pop(gen)
-        survivors = []
-        for term in pool:
-            if term._gen == 0:
-                continue
-            if term in pinned:
-                survivors.append(term)
-            else:
-                _evict(term, evicted)
-        if survivors:
-            _GEN_POOLS[gen] = survivors
+    # The intern lock serializes the table deletions against concurrent
+    # construction misses on other threads (the serving subsystem's readers
+    # may be parsing queries while the writer collects).
+    with _INTERN_LOCK:
+        for gen in target:
+            pool = _GEN_POOLS.pop(gen)
+            survivors = []
+            for term in pool:
+                if term._gen == 0:
+                    continue
+                if term in pinned:
+                    survivors.append(term)
+                else:
+                    _evict(term, evicted)
+            if survivors:
+                _GEN_POOLS[gen] = survivors
     return {
         "generations": tuple(target),
         "pinned": len(pinned),
@@ -468,14 +483,20 @@ class Var(Term):
             if self._gen and not _CURRENT_GEN:
                 _promote(self)
             return self
-        self = object.__new__(cls)
-        object.__setattr__(self, "name", name)
-        object.__setattr__(self, "_hash", hash(("var", name)))
-        gen = _CURRENT_GEN
-        object.__setattr__(self, "_gen", gen)
-        _VAR_INTERN[name] = self
-        if gen:
-            _record(self, gen)
+        with _INTERN_LOCK:
+            self = _VAR_INTERN.get(name)
+            if self is not None:
+                if self._gen and not _CURRENT_GEN:
+                    _promote(self)
+                return self
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "_hash", hash(("var", name)))
+            gen = _CURRENT_GEN
+            object.__setattr__(self, "_gen", gen)
+            _VAR_INTERN[name] = self
+            if gen:
+                _record(self, gen)
         return self
 
     def __setattr__(self, key, value):
@@ -519,14 +540,20 @@ class Sym(Term):
             if self._gen and not _CURRENT_GEN:
                 _promote(self)
             return self
-        self = object.__new__(cls)
-        object.__setattr__(self, "name", name)
-        object.__setattr__(self, "_hash", hash(("sym", name)))
-        gen = _CURRENT_GEN
-        object.__setattr__(self, "_gen", gen)
-        _SYM_INTERN[name] = self
-        if gen:
-            _record(self, gen)
+        with _INTERN_LOCK:
+            self = _SYM_INTERN.get(name)
+            if self is not None:
+                if self._gen and not _CURRENT_GEN:
+                    _promote(self)
+                return self
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "_hash", hash(("sym", name)))
+            gen = _CURRENT_GEN
+            object.__setattr__(self, "_gen", gen)
+            _SYM_INTERN[name] = self
+            if gen:
+                _record(self, gen)
         return self
 
     def __setattr__(self, key, value):
@@ -571,15 +598,21 @@ class Num(Sym):
             if self._gen and not _CURRENT_GEN:
                 _promote(self)
             return self
-        self = object.__new__(cls)
-        object.__setattr__(self, "name", str(value))
-        object.__setattr__(self, "value", value)
-        object.__setattr__(self, "_hash", hash(("num", value)))
-        gen = _CURRENT_GEN
-        object.__setattr__(self, "_gen", gen)
-        _NUM_INTERN[value] = self
-        if gen:
-            _record(self, gen)
+        with _INTERN_LOCK:
+            self = _NUM_INTERN.get(value)
+            if self is not None:
+                if self._gen and not _CURRENT_GEN:
+                    _promote(self)
+                return self
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", str(value))
+            object.__setattr__(self, "value", value)
+            object.__setattr__(self, "_hash", hash(("num", value)))
+            gen = _CURRENT_GEN
+            object.__setattr__(self, "_gen", gen)
+            _NUM_INTERN[value] = self
+            if gen:
+                _record(self, gen)
         return self
 
     def __eq__(self, other):
@@ -622,55 +655,63 @@ class App(Term):
         for arg in args:
             if not isinstance(arg, Term):
                 raise TypeError("App argument must be a Term, got %r" % (arg,))
-        self = object.__new__(cls)
-        object.__setattr__(self, "name", name)
-        object.__setattr__(self, "args", args)
-        object.__setattr__(self, "_hash", hash(("app", name, args)))
-        object.__setattr__(
-            self, "_ground", name.is_ground() and all(arg.is_ground() for arg in args)
-        )
-        # Children are already interned (hence their depths cached), so the
-        # nesting depth memoizes bottom-up in O(arity) at construction.
-        depth = name.depth()
-        for arg in args:
-            arg_depth = arg.depth()
-            if arg_depth > depth:
-                depth = arg_depth
-        object.__setattr__(self, "_depth", depth + 1)
-        # Birth generation: at least the current one, and never younger
-        # than any child — an application built after a generation closed
-        # must still be sweepable together with the mortal children it
-        # references (collection prunes pin traversal below a term's own
-        # generation, so descendants may never outlive their ancestors'
-        # generation bound).  An application over a *fresh* (uninterned)
-        # child inherits the fresh sentinel and is itself left uninterned:
-        # its key contains an identity-unique object, so a table entry
-        # could never be hit again and would only be immortal leak.
-        gen = _CURRENT_GEN
-        child_gen = name._gen
-        if child_gen > gen:
-            gen = child_gen
-        for arg in args:
-            child_gen = arg._gen
+        with _INTERN_LOCK:
+            self = _APP_INTERN.get(key)
+            if self is not None:
+                if self._gen and not _CURRENT_GEN:
+                    _promote(self)
+                return self
+            self = object.__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "args", args)
+            object.__setattr__(self, "_hash", hash(("app", name, args)))
+            object.__setattr__(
+                self, "_ground",
+                name.is_ground() and all(arg.is_ground() for arg in args)
+            )
+            # Children are already interned (hence their depths cached), so
+            # the nesting depth memoizes bottom-up in O(arity) at
+            # construction.
+            depth = name.depth()
+            for arg in args:
+                arg_depth = arg.depth()
+                if arg_depth > depth:
+                    depth = arg_depth
+            object.__setattr__(self, "_depth", depth + 1)
+            # Birth generation: at least the current one, and never younger
+            # than any child — an application built after a generation closed
+            # must still be sweepable together with the mortal children it
+            # references (collection prunes pin traversal below a term's own
+            # generation, so descendants may never outlive their ancestors'
+            # generation bound).  An application over a *fresh* (uninterned)
+            # child inherits the fresh sentinel and is itself left uninterned:
+            # its key contains an identity-unique object, so a table entry
+            # could never be hit again and would only be immortal leak.
+            gen = _CURRENT_GEN
+            child_gen = name._gen
             if child_gen > gen:
                 gen = child_gen
-        if gen >= _FRESH_GEN:
-            # Fresh-descended: uninterned, reclaimed by ordinary GC.
-            object.__setattr__(self, "_gen", gen)
-            return self
-        if gen and not _CURRENT_GEN:
-            # Top-level construction over generational children: the
-            # immortality promise covers everything obtained while no
-            # generation is open, so promote the children (mirroring the
-            # intern-hit path) and intern the new application immortally.
-            _promote(name)
             for arg in args:
-                _promote(arg)
-            gen = 0
-        object.__setattr__(self, "_gen", gen)
-        _APP_INTERN[key] = self
-        if gen:
-            _record(self, gen)
+                child_gen = arg._gen
+                if child_gen > gen:
+                    gen = child_gen
+            if gen >= _FRESH_GEN:
+                # Fresh-descended: uninterned, reclaimed by ordinary GC.
+                object.__setattr__(self, "_gen", gen)
+                return self
+            if gen and not _CURRENT_GEN:
+                # Top-level construction over generational children: the
+                # immortality promise covers everything obtained while no
+                # generation is open, so promote the children (mirroring the
+                # intern-hit path) and intern the new application immortally.
+                _promote(name)
+                for arg in args:
+                    _promote(arg)
+                gen = 0
+            object.__setattr__(self, "_gen", gen)
+            _APP_INTERN[key] = self
+            if gen:
+                _record(self, gen)
         return self
 
     def __setattr__(self, key, value):

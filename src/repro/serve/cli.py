@@ -1,0 +1,185 @@
+"""Command-line interface for the serving subsystem.
+
+``python -m repro.serve`` wraps the HTTP server and a tiny stdlib client:
+
+``serve PROGRAM``
+    Load a program file and serve it over HTTP until interrupted::
+
+        python -m repro.serve serve examples/tc.hilog --port 8273
+
+``query TEXT`` / ``ask ATOM``
+    Ask a running server::
+
+        python -m repro.serve query 'tc(a, X)' --port 8273
+
+``load FILE``
+    Stream a file of facts into a running server (batched inserts)::
+
+        python -m repro.serve load extra_edges.hilog --port 8273
+
+``stats``
+    Print a running server's statistics as JSON.
+
+The client commands talk plain HTTP (:mod:`urllib.request`), so they work
+against any instance of :mod:`repro.serve.server`, local or not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def _url(args, path):
+    return "http://%s:%d%s" % (args.host, args.port, path)
+
+
+def _request(args, path, payload=None, retries=5):
+    """One JSON request; retries on 503 backpressure with the server's
+    suggested delay."""
+    attempt = 0
+    while True:
+        request = urllib.request.Request(
+            _url(args, path),
+            data=None if payload is None else
+            json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="GET" if payload is None else "POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=args.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", "replace")
+            if error.code == 503 and attempt < retries:
+                attempt += 1
+                delay = float(error.headers.get("Retry-After", 0.05) or 0.05)
+                time.sleep(delay)
+                continue
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body
+            raise SystemExit("server error %d: %s" % (error.code, message))
+        except urllib.error.URLError as error:
+            raise SystemExit(
+                "cannot reach %s: %s" % (_url(args, path), error.reason)
+            )
+
+
+def _cmd_serve(args):
+    from repro.serve.server import run
+
+    with open(args.program, "r") as handle:
+        program = handle.read()
+
+    def ready(server):
+        host, port = server.address
+        print("serving %s on http://%s:%d (Ctrl-C to stop)"
+              % (args.program, host, port), flush=True)
+
+    run(program, host=args.host, port=args.port,
+        request_timeout=args.timeout, ready=ready,
+        max_pending=args.max_pending, max_batch=args.max_batch,
+        strategy=args.strategy, intern_gc=args.intern_gc)
+    print("server stopped")
+    return 0
+
+
+def _cmd_query(args):
+    result = _request(args, "/query", {"query": args.text})
+    for answer in result["answers"]:
+        print(answer)
+    print("%% %d answer(s) at epoch %d" % (result["count"], result["epoch"]),
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_ask(args):
+    result = _request(args, "/value", {"atom": args.atom})
+    print(result["value"])
+    return 0 if result["value"] == "true" else 1
+
+
+def _cmd_load(args):
+    with open(args.facts, "r") as handle:
+        text = handle.read()
+    # One statement per sentence; ship in batches so a long file neither
+    # exceeds the body cap nor lands as one giant maintenance pass.
+    sentences = [part.strip() + "." for part in text.split(".") if part.strip()]
+    total = 0
+    for start in range(0, len(sentences), args.batch):
+        chunk = " ".join(sentences[start:start + args.batch])
+        result = _request(args, "/insert", {"facts": chunk})
+        total += result.get("inserted", 0)
+    print("loaded %d new fact(s) from %s" % (total, args.facts))
+    return 0
+
+
+def _cmd_stats(args):
+    print(json.dumps(_request(args, "/stats"), indent=2, sort_keys=True))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a HiLog deductive database over HTTP, or talk "
+                    "to a running server.",
+    )
+    # Shared connection options, accepted after any subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--host", default="127.0.0.1")
+    common.add_argument("--port", type=int, default=8273)
+    common.add_argument("--timeout", type=float, default=10.0,
+                        help="request timeout in seconds")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve_cmd = commands.add_parser("serve", parents=[common],
+                                    help="run the HTTP server")
+    serve_cmd.add_argument("program", help="program file to load and serve")
+    serve_cmd.add_argument("--max-pending", type=int, default=1024,
+                           help="write-queue bound (backpressure beyond it)")
+    serve_cmd.add_argument("--max-batch", type=int, default=64,
+                           help="max ops coalesced per maintenance pass")
+    serve_cmd.add_argument("--strategy", default="auto",
+                           choices=("auto", "incremental", "wellfounded",
+                                    "recompute"))
+    serve_cmd.add_argument("--intern-gc", type=int, default=None,
+                           help="sweep intern tables every N updates")
+    serve_cmd.set_defaults(run=_cmd_serve)
+
+    query_cmd = commands.add_parser("query", parents=[common],
+                                    help="query a running server")
+    query_cmd.add_argument("text", help="query text, e.g. 'tc(a, X)'")
+    query_cmd.set_defaults(run=_cmd_query)
+
+    ask_cmd = commands.add_parser("ask", parents=[common],
+                                  help="three-valued ground check")
+    ask_cmd.add_argument("atom", help="ground atom, e.g. 'tc(a, b)'")
+    ask_cmd.set_defaults(run=_cmd_ask)
+
+    load_cmd = commands.add_parser("load", parents=[common],
+                                   help="stream facts into a server")
+    load_cmd.add_argument("facts", help="file of facts to insert")
+    load_cmd.add_argument("--batch", type=int, default=256,
+                          help="facts per request")
+    load_cmd.set_defaults(run=_cmd_load)
+
+    stats_cmd = commands.add_parser("stats", parents=[common],
+                                    help="print server statistics")
+    stats_cmd.set_defaults(run=_cmd_stats)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

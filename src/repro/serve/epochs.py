@@ -1,0 +1,257 @@
+"""Immutable reader epochs over a maintained deductive database.
+
+One **epoch** is one published, never-mutated view of the maintained
+model: a frozen :class:`~repro.engine.seminaive.relation.RelationStore`
+snapshot, or an :class:`~repro.engine.seminaive.relation.OverlayStore`
+layering the net diff of one or more update batches over such a snapshot.
+The :class:`EpochManager` is the single point of coordination between the
+writer (which publishes a new epoch after every maintained batch) and the
+readers (which pin the current epoch for the duration of a query):
+
+* **Atomic publication** — the current epoch swaps under the manager's
+  lock, so a reader acquiring "the current epoch" always gets a complete
+  model, never a half-applied batch.
+* **Pinning** — :meth:`EpochManager.acquire` increments the epoch's
+  refcount *under the same lock* that publication takes, so an epoch can
+  never retire between a reader choosing it and pinning it.
+* **Layer liveness** — each epoch holds layer references
+  (``store.acquire()``, and the overlay's shared base) for as long as it
+  is live (current, or pinned by at least one reader).  When an epoch
+  retires its layer references drop; a base whose last overlay retires
+  becomes unreachable and falls out of the pin set.
+* **Intern-GC safety** — the manager registers a (weak) pin provider with
+  :mod:`repro.hilog.terms`, covering every atom reachable from every live
+  epoch.  Term eviction (:func:`~repro.hilog.terms.collect_generation`)
+  therefore never invalidates a pinned reader view: terms compare by
+  identity, so evicting an atom a reader can still fetch would silently
+  turn its lookups into misses.
+* **Rebase policy** — overlays collapse their predecessors at
+  construction, so a reader consults exactly one overlay however many
+  batches separate its epoch from the base; when the collapsed overlay
+  volume exceeds ``rebase_ratio``  of the base (plus a small absolute
+  floor), the manager publishes a fresh frozen snapshot instead, keeping
+  per-read overhead bounded under unbounded churn.
+
+Epochs deliberately know nothing about queries — reading an epoch is
+:func:`repro.core.magic.evaluate.answer_from_store` over ``epoch.store``,
+exactly the maintained-store query path, which both store shapes serve.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.seminaive.relation import OverlayStore, RelationStore
+from repro.hilog.terms import register_pin_provider
+
+
+class Epoch:
+    """One published snapshot of the maintained model.
+
+    Immutable after construction (the serving invariant readers rely on);
+    the mutable ``refs`` counter is owned by the :class:`EpochManager` and
+    only ever touched under its lock.
+    """
+
+    __slots__ = ("eid", "store", "undefined", "version", "refs", "_live")
+
+    def __init__(self, eid, store, undefined, version):
+        #: Monotone epoch number (0 is the initial model).
+        self.eid = eid
+        #: The epoch's fact view — a frozen ``RelationStore`` or an
+        #: ``OverlayStore`` over one.
+        self.store = store
+        #: Undefined atoms of the model at this epoch (well-founded mode).
+        self.undefined = undefined
+        #: The session version this epoch reflects.
+        self.version = version
+        #: Reader pins (managed by the EpochManager, under its lock).
+        self.refs = 0
+        self._live = True
+
+    def __len__(self):
+        return len(self.store)
+
+    def __contains__(self, atom):
+        return atom in self.store
+
+    @property
+    def live(self):
+        """Whether the epoch still pins its layers (current or read-pinned)."""
+        return self._live
+
+    def is_base(self):
+        """True when this epoch is a frozen full snapshot (not an overlay)."""
+        return isinstance(self.store, RelationStore)
+
+    def pin_roots(self):
+        """Every term reachable from this epoch, for intern pin sets."""
+        yield from self.store.pin_roots()
+        yield from self.undefined
+
+
+class EpochManager:
+    """Publishes epochs for one writer and pins them for many readers.
+
+    Args:
+        snapshot: zero-argument callable returning a fresh
+            :class:`RelationStore` copy of the maintained store (the
+            session's ``store.snapshot()``, called on the writer thread) —
+            used for the initial epoch and for rebases.
+        rebase_ratio: publish a fresh frozen snapshot instead of a further
+            overlay once the collapsed overlay volume (additions +
+            tombstones) exceeds this fraction of the base's size.
+        rebase_min: absolute overlay volume below which no rebase happens
+            regardless of the ratio (keeps tiny models from rebasing on
+            every batch).
+    """
+
+    def __init__(self, snapshot, rebase_ratio=0.5, rebase_min=256):
+        if rebase_ratio <= 0:
+            raise ValueError("rebase_ratio must be positive")
+        self._snapshot = snapshot
+        self._rebase_ratio = rebase_ratio
+        self._rebase_min = rebase_min
+        self._lock = threading.Lock()
+        self._current = None
+        self._next_eid = 0
+        #: eid -> Epoch, every epoch whose layers are still pinned.
+        self._live = {}
+        self._rebases = 0
+        self._published = 0
+        # Weak registration: a dropped manager stops pinning automatically.
+        self._pin_handle = register_pin_provider(self._intern_pin_roots)
+
+    # -- intern-GC integration ----------------------------------------------
+
+    def _intern_pin_roots(self):
+        """Pin every atom reachable from any live epoch.  Called by
+        :func:`~repro.hilog.terms.collect_generation` on whatever thread
+        collects; the snapshot of the live table is taken under the lock,
+        the (immutable) epochs are walked outside it."""
+        with self._lock:
+            epochs = list(self._live.values())
+        for epoch in epochs:
+            yield from epoch.pin_roots()
+
+    # -- publication (writer side) ------------------------------------------
+
+    def publish_base(self, undefined=frozenset(), version=0):
+        """Publish a fresh frozen full snapshot as the new current epoch
+        (the initial publication, and the rebase path).  Runs ``snapshot()``
+        on the calling (writer) thread; only the swap takes the lock."""
+        store = self._snapshot().freeze()
+        return self._install(store, undefined, version)
+
+    def publish_delta(self, added, removed, undefined=frozenset(), version=0):
+        """Publish the net effect of one maintained batch as the new
+        current epoch: an overlay over the current epoch's base (collapsing
+        the current overlay, if any), or — once the collapsed overlay
+        outgrows the rebase policy — a fresh frozen snapshot.
+
+        ``added`` / ``removed`` are exact model diffs (the maintained
+        store already reflects them — :class:`~repro.db.session.UpdateSummary`
+        semantics).  Construction happens outside the lock: the inputs are
+        immutable published layers, so only the final swap synchronizes."""
+        with self._lock:
+            current = self._current
+        if current is None:
+            return self.publish_base(undefined, version)
+        if current.is_base():
+            base, previous = current.store, None
+        else:
+            base, previous = current.store.base, current.store
+        overlay = OverlayStore(base, added=added, removed=removed,
+                               previous=previous)
+        volume = overlay.overlay_size()
+        if volume > self._rebase_min and \
+                volume > self._rebase_ratio * max(len(base), 1):
+            self._rebases += 1
+            return self.publish_base(undefined, version)
+        return self._install(overlay, undefined, version)
+
+    def _install(self, store, undefined, version):
+        """Swap ``store`` in as the current epoch, retiring the old current
+        epoch's *current* pin (readers still holding it keep it live)."""
+        store.acquire()
+        if isinstance(store, OverlayStore):
+            store.base.acquire()
+        with self._lock:
+            epoch = Epoch(self._next_eid, store, frozenset(undefined), version)
+            self._next_eid += 1
+            self._published += 1
+            self._live[epoch.eid] = epoch
+            previous, self._current = self._current, epoch
+            if previous is not None and previous.refs == 0:
+                self._retire_locked(previous)
+        return epoch
+
+    # -- pinning (reader side) ----------------------------------------------
+
+    def acquire(self):
+        """Pin and return the current epoch.  The pin is taken under the
+        publication lock, so the returned epoch's layers are guaranteed
+        live until the matching :meth:`release`."""
+        with self._lock:
+            epoch = self._current
+            if epoch is None:
+                raise RuntimeError("no epoch has been published yet")
+            epoch.refs += 1
+            return epoch
+
+    def release(self, epoch):
+        """Drop one reader pin; retires the epoch when it is no longer
+        current and unpinned."""
+        with self._lock:
+            if epoch.refs > 0:
+                epoch.refs -= 1
+            if epoch.refs == 0 and epoch is not self._current \
+                    and epoch._live:
+                self._retire_locked(epoch)
+
+    def _retire_locked(self, epoch):
+        """Drop the epoch's layer references and remove it from the live
+        table (caller holds the lock)."""
+        epoch._live = False
+        epoch.store.release()
+        if isinstance(epoch.store, OverlayStore):
+            epoch.store.base.release()
+        self._live.pop(epoch.eid, None)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def current(self):
+        """The current epoch (unpinned — use :meth:`acquire` to read)."""
+        with self._lock:
+            return self._current
+
+    def live_epochs(self):
+        """Snapshot of the live epoch table (current + reader-pinned)."""
+        with self._lock:
+            return list(self._live.values())
+
+    def stats(self):
+        """Publication / pinning counters for diagnostics."""
+        with self._lock:
+            current = self._current
+            return {
+                "published": self._published,
+                "rebases": self._rebases,
+                "live_epochs": len(self._live),
+                "current_eid": current.eid if current is not None else None,
+                "current_refs": current.refs if current is not None else 0,
+                "current_is_base": current.is_base() if current is not None
+                else None,
+                "current_overlay": 0 if current is None or current.is_base()
+                else current.store.overlay_size(),
+            }
+
+    def close(self):
+        """Retire every epoch (the serving session is shutting down);
+        readers still pinned keep their store objects but the manager stops
+        pinning interned terms for them."""
+        with self._lock:
+            for epoch in list(self._live.values()):
+                self._retire_locked(epoch)
+            self._current = None

@@ -1,0 +1,367 @@
+"""Asyncio HTTP front end for a :class:`~repro.serve.session.ServingSession`.
+
+A deliberately small HTTP/1.1 server on the standard library only — enough
+protocol for clients, curl and the bundled CLI, not a framework.  Reads
+are dispatched to a thread pool (queries pin an epoch and run the store
+probes off the event loop), writes go through the serving session's
+bounded queue, and every request carries a server-side timeout.
+
+Endpoints (JSON in, JSON out):
+
+``POST /query``    ``{"query": "tc(a, X)"}``
+    → ``{"answers": [...], "count": n, "epoch": eid}``
+``POST /ask``      ``{"atom": "tc(a, b)"}`` → ``{"result": true}``
+``POST /value``    ``{"atom": ...}`` → ``{"value": "true"|"undefined"|"false"}``
+``POST /insert``   ``{"facts": "e(a, b). e(b, c)."[, "wait": false]}``
+``POST /retract``  ``{"facts": ...[, "wait": false]}``
+    → the batch's update summary, or ``{"queued": true}`` with
+    ``"wait": false`` (fire-and-forget; parse errors surface in stats only)
+``GET  /stats``    serving-layer statistics
+``GET  /healthz``  liveness probe
+
+Error mapping: a full write queue answers ``503`` with a ``Retry-After``
+header (backpressure is the client's problem to pace, not the server's to
+buffer); a request exceeding the per-request timeout answers ``504``;
+malformed input answers ``400``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.session import ServingClosed, ServingSession, WriteQueueFull
+
+#: Refuse request bodies beyond this size (1 MiB) — the write path is for
+#: update streams, not bulk loads; use the CLI ``load`` command for those.
+MAX_BODY = 1 << 20
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class _HttpError(Exception):
+    """A response-shaped error raised by request handling."""
+
+    def __init__(self, status, message, headers=()):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = tuple(headers)
+
+
+class ServeServer:
+    """The HTTP server bound to one serving session.
+
+    Args:
+        serving: the :class:`ServingSession` to expose.
+        host / port: bind address (port 0 picks a free port; see
+            :attr:`address` after :meth:`start`).
+        request_timeout: per-request budget in seconds — covers reading
+            the request, running the query / waiting for the write batch,
+            everything up to the response.
+        readers: thread-pool width for query execution.
+    """
+
+    def __init__(self, serving, host="127.0.0.1", port=8273,
+                 request_timeout=10.0, readers=8):
+        self._serving = serving
+        self._host = host
+        self._port = port
+        self._timeout = request_timeout
+        self._executor = ThreadPoolExecutor(
+            max_workers=readers, thread_name_prefix="repro-serve-reader",
+        )
+        self._server = None
+        self._requests = 0
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (after :meth:`start`)."""
+        sockets = self._server.sockets if self._server is not None else None
+        if not sockets:
+            return (self._host, self._port)
+        return sockets[0].getsockname()[:2]
+
+    async def start(self):
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port,
+        )
+        return self
+
+    async def serve_forever(self):
+        """Run until cancelled (:meth:`start` must have completed)."""
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self):
+        """Stop accepting connections and release the reader pool (the
+        serving session itself is left to its owner)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), self._timeout,
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection; just drop it
+                except _HttpError as error:
+                    await self._respond_error(writer, error, close=True)
+                    break
+                if request is None:
+                    break  # client closed
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                try:
+                    status, payload = await asyncio.wait_for(
+                        self._dispatch(method, path, body),
+                        self._timeout,
+                    )
+                except asyncio.TimeoutError:
+                    await self._respond_error(writer, _HttpError(
+                        504, "request exceeded %.1fs" % self._timeout,
+                    ), close=True)
+                    break
+                except _HttpError as error:
+                    await self._respond_error(writer, error,
+                                              close=not keep_alive)
+                    if not keep_alive:
+                        break
+                    continue
+                except Exception as error:  # surface, don't kill the server
+                    await self._respond_error(writer, _HttpError(
+                        500, "%s: %s" % (type(error).__name__, error),
+                    ), close=not keep_alive)
+                    if not keep_alive:
+                        break
+                    continue
+                await self._respond(writer, status, payload,
+                                    close=not keep_alive)
+                if not keep_alive:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                return None
+            if line in (b"\r\n", b"\n"):
+                break
+            try:
+                name, value = line.decode("latin-1").split(":", 1)
+            except ValueError:
+                raise _HttpError(400, "malformed header")
+            headers[name.strip().lower()] = value.strip().lower()
+        length = headers.get("content-length", "0")
+        try:
+            length = int(length)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length")
+        if length > MAX_BODY:
+            raise _HttpError(413, "body exceeds %d bytes" % MAX_BODY)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, method, path, body):
+        self._requests += 1
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, {"ok": not self._serving.closed}
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            stats = dict(self._serving.stats())
+            stats["requests"] = self._requests
+            return 200, stats
+        if path in ("/query", "/ask", "/value", "/insert", "/retract"):
+            if method != "POST":
+                raise _HttpError(405, "use POST")
+            payload = self._parse_json(body)
+            if path == "/query":
+                return await self._do_query(payload)
+            if path == "/ask":
+                return await self._do_ask(payload, "ask")
+            if path == "/value":
+                return await self._do_ask(payload, "value")
+            return await self._do_write(payload, insert=(path == "/insert"))
+        raise _HttpError(404, "no such endpoint: %s" % path)
+
+    @staticmethod
+    def _parse_json(body):
+        if not body:
+            raise _HttpError(400, "JSON body required")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _HttpError(400, "bad JSON: %s" % error)
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload
+
+    def _field(self, payload, name):
+        value = payload.get(name)
+        if not isinstance(value, str) or not value.strip():
+            raise _HttpError(400, "field %r (a nonempty string) required" % name)
+        return value
+
+    async def _in_reader(self, fn):
+        """Run a blocking read on the pool (never on the event loop)."""
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(self._executor, fn)
+
+    async def _do_query(self, payload):
+        text = self._field(payload, "query")
+
+        def run():
+            with self._serving.reader() as reader:
+                answers = reader.query(text)
+                return reader.epoch.eid, [str(answer) for answer in answers]
+
+        try:
+            eid, answers = await self._in_reader(run)
+        except ValueError as error:
+            raise _HttpError(400, str(error))
+        return 200, {"answers": answers, "count": len(answers), "epoch": eid}
+
+    async def _do_ask(self, payload, kind):
+        text = self._field(payload, "atom")
+
+        def run():
+            with self._serving.reader() as reader:
+                method = reader.ask if kind == "ask" else reader.value
+                return reader.epoch.eid, method(text)
+
+        try:
+            eid, result = await self._in_reader(run)
+        except ValueError as error:
+            raise _HttpError(400, str(error))
+        key = "result" if kind == "ask" else "value"
+        return 200, {key: result, "epoch": eid}
+
+    async def _do_write(self, payload, insert):
+        facts = self._field(payload, "facts")
+        wait = payload.get("wait", True)
+        try:
+            if insert:
+                future = self._serving.submit(inserts=facts)
+            else:
+                future = self._serving.submit(retracts=facts)
+        except WriteQueueFull as error:
+            raise _HttpError(503, str(error), headers=(
+                ("Retry-After", "%.3f" % error.retry_after),
+            ))
+        except ServingClosed as error:
+            raise _HttpError(503, str(error))
+        if not wait:
+            return 200, {"queued": True, "pending": self._serving.pending()}
+        # The future resolves on the writer thread; wrap it for the loop.
+        try:
+            summary = await asyncio.wrap_future(future)
+        except Exception as error:
+            raise _HttpError(400, "%s: %s" % (type(error).__name__, error))
+        return 200, {
+            "inserted": summary.inserted,
+            "retracted": summary.retracted,
+            "added": len(summary.added),
+            "removed": len(summary.removed),
+            "strata_touched": summary.strata_touched,
+            "mode": summary.mode,
+            "undefined_added": len(summary.undefined_added),
+            "undefined_removed": len(summary.undefined_removed),
+        }
+
+    # -- responses -----------------------------------------------------------
+
+    async def _respond(self, writer, status, payload, close,
+                       extra_headers=()):
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            "HTTP/1.1 %d %s" % (status, _REASONS.get(status, "Unknown")),
+            "Content-Type: application/json",
+            "Content-Length: %d" % len(body),
+            "Connection: %s" % ("close" if close else "keep-alive"),
+        ]
+        for name, value in extra_headers:
+            lines.append("%s: %s" % (name, value))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _respond_error(self, writer, error, close):
+        await self._respond(
+            writer, error.status, {"error": error.message},
+            close=close, extra_headers=error.headers,
+        )
+
+
+async def serve(serving, host="127.0.0.1", port=8273, request_timeout=10.0,
+                readers=8, ready=None):
+    """Run a server for ``serving`` until cancelled.
+
+    ``ready``, when given, is a callable invoked with the
+    :class:`ServeServer` once it is accepting connections (used by the CLI
+    to print the bound address, and by tests to learn the port)."""
+    server = ServeServer(serving, host=host, port=port,
+                         request_timeout=request_timeout, readers=readers)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def run(program, host="127.0.0.1", port=8273, request_timeout=10.0,
+        readers=8, ready=None, **serving_kwargs):
+    """Blocking convenience: build a :class:`ServingSession` for
+    ``program``, serve it until interrupted, then shut both down cleanly."""
+    serving = (program if isinstance(program, ServingSession)
+               else ServingSession(program, **serving_kwargs))
+    try:
+        asyncio.run(serve(serving, host=host, port=port,
+                          request_timeout=request_timeout, readers=readers,
+                          ready=ready))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        serving.close()

@@ -1,0 +1,533 @@
+"""Snapshot-isolated serving sessions: many readers, one writer.
+
+A :class:`ServingSession` wraps a :class:`~repro.db.session.DatabaseSession`
+for concurrent use.  The wrapped session stays single-threaded — exactly
+one **writer thread**, owned by the serving session, ever touches it:
+
+* callers *submit* inserts/retracts (:meth:`ServingSession.submit`); the
+  ops land in a bounded queue and resolve a
+  :class:`concurrent.futures.Future` when their batch has been applied;
+* the writer drains the queue, **coalesces** consecutive queued ops into
+  one merged batch (last operation per atom wins — one maintenance pass
+  absorbs any number of queued updates), applies it, and publishes the
+  result as a new immutable epoch through the
+  :class:`~repro.serve.epochs.EpochManager`;
+* readers open a :class:`ReaderSession` (:meth:`ServingSession.reader`),
+  which pins the current epoch: every query inside the block is answered
+  from that one published model, however many batches the writer applies
+  meanwhile — snapshot isolation without blocking the writer, and without
+  the writer blocking readers.
+
+Backpressure is explicit: when the queue holds ``max_pending`` ops,
+:meth:`submit` raises :class:`WriteQueueFull` (the HTTP front end maps it
+to ``503`` + ``Retry-After``) instead of buffering unboundedly.
+
+Threading contract:
+
+* The wrapped session must not be updated behind the serving session's
+  back — all writes go through :meth:`submit` (or its
+  :meth:`insert`/:meth:`retract` conveniences).
+* Intern **generations** are writer-thread-only (the generation stack is
+  global); reader threads parse queries at top level, which is safe —
+  constants already in the model resolve to their canonical pinned terms,
+  and unknown constants miss either way.  :meth:`collect` is therefore
+  routed through the writer queue too, so a sweep never races a batch.
+* Term eviction is safe under pinned readers: the epoch manager's pin
+  provider keeps every atom reachable from any live epoch interned.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from collections import deque
+from concurrent.futures import Future
+
+from repro.db.session import DatabaseSession
+from repro.hilog.errors import HiLogError
+from repro.hilog.parser import parse_query, parse_term
+from repro.hilog.program import Literal
+from repro.hilog.terms import Term, intern_generation
+from repro.core.magic.evaluate import answer_from_store
+from repro.serve.epochs import EpochManager
+
+
+class ServeError(HiLogError):
+    """Base class for serving-layer errors."""
+
+
+class WriteQueueFull(ServeError):
+    """The bounded write queue is at capacity — retry after a short delay
+    (the HTTP front end surfaces :attr:`retry_after` as ``Retry-After``)."""
+
+    def __init__(self, pending, retry_after=0.05):
+        super().__init__(
+            "write queue full (%d ops pending); retry in %.0f ms"
+            % (pending, retry_after * 1000.0)
+        )
+        self.pending = pending
+        self.retry_after = retry_after
+
+
+class ServingClosed(ServeError):
+    """The serving session has been closed; no further ops are accepted."""
+
+
+class _Op:
+    """One queued writer operation."""
+
+    __slots__ = ("kind", "inserts", "retracts", "future")
+
+    def __init__(self, kind, inserts=(), retracts=()):
+        self.kind = kind  # "update" | "collect" | "barrier" | "stats"
+        self.inserts = inserts
+        self.retracts = retracts
+        self.future = Future()
+
+    # A waiter may cancel the future (e.g. an HTTP request timing out while
+    # its op is still queued); the op itself still runs — resolution just
+    # has nobody listening, and must not blow up the writer thread.
+
+    def resolve(self, result):
+        if not self.future.cancelled():
+            try:
+                self.future.set_result(result)
+            except Exception:
+                pass
+
+    def fail(self, error):
+        if not self.future.cancelled():
+            try:
+                self.future.set_exception(error)
+            except Exception:
+                pass
+
+
+class ReaderSession:
+    """A pinned read view over one published epoch.
+
+    Every query answers from the epoch's immutable store — concurrent
+    writer batches are invisible until a new reader is opened.  Usable as
+    a context manager (the recommended form); :meth:`close` releases the
+    pin explicitly otherwise.  Closing is idempotent; reading after close
+    raises :class:`ServeError`.
+    """
+
+    __slots__ = ("_manager", "_epoch")
+
+    def __init__(self, manager):
+        self._manager = manager
+        self._epoch = manager.acquire()
+
+    @property
+    def epoch(self):
+        """The pinned :class:`~repro.serve.epochs.Epoch` (``None`` after
+        close)."""
+        return self._epoch
+
+    def _store(self):
+        epoch = self._epoch
+        if epoch is None:
+            raise ServeError("reader session is closed")
+        return epoch.store
+
+    def __len__(self):
+        return len(self._store())
+
+    def __contains__(self, atom):
+        return atom in self._store()
+
+    def query(self, query):
+        """Answer a query against the pinned epoch — the exact
+        session-backed path (:func:`~repro.core.magic.evaluate.answer_from_store`)
+        over the epoch's store."""
+        store = self._store()
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, Term):
+            query = (Literal(query),)
+        else:
+            query = tuple(query)
+        if not query:
+            raise ValueError("empty query")
+        return answer_from_store(store, query).answers
+
+    def ask(self, atom):
+        """Whether a ground atom is *true* in the pinned epoch."""
+        store = self._store()
+        if isinstance(atom, str):
+            atom = parse_term(atom)
+        if not atom.is_ground():
+            raise ValueError("ask() needs a ground atom, got %r" % (atom,))
+        return atom in store
+
+    def value(self, atom):
+        """Three-valued verdict in the pinned epoch: ``"true"``,
+        ``"undefined"`` or ``"false"``."""
+        epoch = self._epoch
+        if epoch is None:
+            raise ServeError("reader session is closed")
+        if isinstance(atom, str):
+            atom = parse_term(atom)
+        if not atom.is_ground():
+            raise ValueError("value() needs a ground atom, got %r" % (atom,))
+        if atom in epoch.store:
+            return "true"
+        if atom in epoch.undefined:
+            return "undefined"
+        return "false"
+
+    def facts(self, name, arity):
+        """The pinned extension of one predicate indicator."""
+        store = self._store()
+        if isinstance(name, str):
+            name = parse_term(name)
+        return tuple(store.facts(name, arity))
+
+    def close(self):
+        """Release the epoch pin (idempotent)."""
+        epoch, self._epoch = self._epoch, None
+        if epoch is not None:
+            self._manager.release(epoch)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+
+class ServingSession:
+    """A concurrently served deductive database.
+
+    Args:
+        program: program text, a :class:`~repro.hilog.program.Program`, or
+            an already-built :class:`~repro.db.session.DatabaseSession` to
+            take ownership of (it must not be updated externally afterwards).
+        max_pending: write-queue bound; :meth:`submit` raises
+            :class:`WriteQueueFull` beyond it.
+        max_batch: most queued ops coalesced into one maintenance pass.
+        rebase_ratio / rebase_min: epoch rebase policy
+            (see :class:`~repro.serve.epochs.EpochManager`).
+        session_kwargs: forwarded to :class:`DatabaseSession` when
+            ``program`` is not already a session.
+    """
+
+    def __init__(self, program, max_pending=1024, max_batch=64,
+                 rebase_ratio=0.5, rebase_min=256, **session_kwargs):
+        if isinstance(program, DatabaseSession):
+            if session_kwargs:
+                raise ValueError(
+                    "session_kwargs are only valid when constructing the "
+                    "session here, not when wrapping an existing one"
+                )
+            self._session = program
+        else:
+            self._session = DatabaseSession(program, **session_kwargs)
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self._max_pending = max_pending
+        self._max_batch = max_batch
+        self._manager = EpochManager(
+            self._session.store.snapshot,
+            rebase_ratio=rebase_ratio, rebase_min=rebase_min,
+        )
+        self._publish_hooks = []
+        self._counters = {
+            "submitted": 0,
+            "rejected": 0,
+            "applied_ops": 0,
+            "failed_ops": 0,
+            "batches": 0,
+            "collects": 0,
+        }
+        self._cond = threading.Condition()
+        self._pending = deque()
+        self._closing = False
+        self._resume = threading.Event()
+        self._resume.set()
+        # The initial epoch reflects the freshly materialized model; from
+        # here on every applied batch publishes a successor via the
+        # session's update-listener hook.
+        self._manager.publish_base(
+            undefined=self._session.undefined, version=0,
+        )
+        self._session.add_update_listener(self._on_update)
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="repro-serve-writer", daemon=True,
+        )
+        self._writer.start()
+
+    # -- write side ----------------------------------------------------------
+
+    def submit(self, inserts=(), retracts=()):
+        """Queue one update op; returns a :class:`~concurrent.futures.Future`
+        resolving to the batch's :class:`~repro.db.session.UpdateSummary`
+        (shared by every op coalesced into the same batch).  Facts are in
+        any form :meth:`DatabaseSession.insert` accepts; parsing happens on
+        the writer thread.  Raises :class:`WriteQueueFull` at capacity and
+        :class:`ServingClosed` after :meth:`close`."""
+        op = _Op("update", inserts, retracts)
+        self._enqueue(op)
+        return op.future
+
+    def insert(self, facts, timeout=None):
+        """Queue an insert and wait for its batch; returns the summary."""
+        return self.submit(inserts=facts).result(timeout)
+
+    def retract(self, facts, timeout=None):
+        """Queue a retract and wait for its batch; returns the summary."""
+        return self.submit(retracts=facts).result(timeout)
+
+    def collect(self):
+        """Queue an intern-table sweep (runs on the writer thread, so it
+        never races a batch; live epochs are pinned throughout).  Returns a
+        future resolving to the collection stats dict."""
+        op = _Op("collect")
+        self._enqueue(op)
+        return op.future
+
+    def flush(self, timeout=None):
+        """Barrier: wait until every op queued before this call has been
+        applied (or failed).  Returns the barrier's epoch id."""
+        op = _Op("barrier")
+        self._enqueue(op)
+        return op.future.result(timeout)
+
+    def session_stats(self, timeout=None):
+        """The wrapped session's :meth:`~DatabaseSession.stats`, computed
+        on the writer thread (consistent — never mid-batch)."""
+        op = _Op("stats")
+        self._enqueue(op)
+        return op.future.result(timeout)
+
+    def _enqueue(self, op):
+        with self._cond:
+            if self._closing:
+                raise ServingClosed("serving session is closed")
+            # Only update ops count against (and are rejected by) the
+            # write-queue bound: barriers, collects and stats are control
+            # ops — rejecting a flush because the queue it is meant to
+            # drain is full would be self-defeating.
+            if op.kind == "update" and len(self._pending) >= self._max_pending:
+                self._counters["rejected"] += 1
+                raise WriteQueueFull(len(self._pending))
+            self._pending.append(op)
+            self._counters["submitted"] += 1
+            self._cond.notify()
+
+    def pause(self):
+        """Suspend the writer after its current batch (queued ops
+        accumulate; at capacity :meth:`submit` raises
+        :class:`WriteQueueFull`).  For tests and drain/maintenance windows."""
+        self._resume.clear()
+
+    def resume(self):
+        """Resume a paused writer."""
+        self._resume.set()
+
+    # -- writer thread -------------------------------------------------------
+
+    def _writer_loop(self):
+        while True:
+            self._resume.wait()
+            with self._cond:
+                while not self._pending and not self._closing:
+                    self._cond.wait()
+                if not self._pending and self._closing:
+                    return
+                # A submit may have woken us out of the cond wait while
+                # paused — re-check before draining (close() sets the
+                # resume event, so a paused shutdown still drains).
+                if not self._resume.is_set():
+                    continue
+                batch = []
+                while self._pending and len(batch) < self._max_batch:
+                    batch.append(self._pending.popleft())
+            self._run_batch(batch)
+
+    def _run_batch(self, batch):
+        """Apply one drained batch: consecutive update ops merge into one
+        maintenance pass; collect/barrier/stats ops are sequence points."""
+        updates = []
+        for op in batch:
+            if op.kind == "update":
+                updates.append(op)
+                continue
+            self._apply_updates(updates)
+            updates = []
+            self._run_special(op)
+        self._apply_updates(updates)
+
+    def _apply_updates(self, ops):
+        if not ops:
+            return
+        # Coerce per op so one malformed payload fails its own future
+        # without poisoning the ops batched alongside it.
+        final = {}
+        live = []
+        for op in ops:
+            try:
+                with intern_generation():
+                    staged = [
+                        (atom, "insert")
+                        for atom in self._session._coerce_facts(op.inserts)
+                    ]
+                    staged.extend(
+                        (atom, "retract")
+                        for atom in self._session._coerce_facts(op.retracts)
+                    )
+            except BaseException as error:
+                self._counters["failed_ops"] += 1
+                op.fail(error)
+                continue
+            final.update(staged)
+            live.append(op)
+        if not live:
+            return
+        inserts = [atom for atom, action in final.items() if action == "insert"]
+        retracts = [atom for atom, action in final.items() if action == "retract"]
+        try:
+            with intern_generation():
+                result = self._session._apply(inserts, retracts)
+            self._session._after_update(result)
+        except BaseException as error:
+            self._counters["failed_ops"] += len(live)
+            for op in live:
+                op.fail(error)
+            return
+        self._counters["applied_ops"] += len(live)
+        self._counters["batches"] += 1
+        for op in live:
+            op.resolve(result)
+
+    def _run_special(self, op):
+        try:
+            if op.kind == "collect":
+                result = self._session.collect()
+                self._counters["collects"] += 1
+            elif op.kind == "stats":
+                result = self._session.stats()
+            else:  # barrier
+                current = self._manager.current
+                result = current.eid if current is not None else None
+        except BaseException as error:
+            op.fail(error)
+        else:
+            op.resolve(result)
+
+    def _on_update(self, summary):
+        """Session update listener — the epoch publication hook.  Runs on
+        the writer thread, after the batch's generation closed and before
+        any automatic intern sweep."""
+        epoch = self._manager.publish_delta(
+            summary.added, summary.removed,
+            undefined=self._session.undefined,
+            version=self._counters["batches"] + 1,
+        )
+        for hook in tuple(self._publish_hooks):
+            hook(epoch, summary)
+
+    def add_publish_hook(self, hook):
+        """Register ``hook(epoch, summary)`` to run (on the writer thread)
+        after each epoch publication — test oracles and replication feeds."""
+        self._publish_hooks.append(hook)
+        return hook
+
+    def remove_publish_hook(self, hook):
+        """Unregister a publish hook (no-op when absent)."""
+        try:
+            self._publish_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    # -- read side -----------------------------------------------------------
+
+    def reader(self):
+        """Open a :class:`ReaderSession` pinned to the current epoch."""
+        return ReaderSession(self._manager)
+
+    def query(self, query):
+        """One-shot query against the current epoch (pin, query, release)."""
+        with self.reader() as reader:
+            return reader.query(query)
+
+    def ask(self, atom):
+        """One-shot truth check against the current epoch."""
+        with self.reader() as reader:
+            return reader.ask(atom)
+
+    def value(self, atom):
+        """One-shot three-valued verdict against the current epoch."""
+        with self.reader() as reader:
+            return reader.value(atom)
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    @property
+    def session(self):
+        """The wrapped :class:`DatabaseSession` (writer-thread property —
+        do not update it directly; reads may observe a mid-batch state)."""
+        return self._session
+
+    @property
+    def epochs(self):
+        """The :class:`~repro.serve.epochs.EpochManager`."""
+        return self._manager
+
+    def pending(self):
+        """Current write-queue depth."""
+        with self._cond:
+            return len(self._pending)
+
+    def stats(self):
+        """Serving-layer statistics: queue/batch counters, epoch manager
+        counters, and the current epoch's size.  Safe to call from any
+        thread (touches only immutable epochs and lock-guarded counters);
+        see :meth:`session_stats` for the wrapped session's own view."""
+        with self._cond:
+            info = dict(self._counters)
+            info["pending"] = len(self._pending)
+            info["max_pending"] = self._max_pending
+            info["max_batch"] = self._max_batch
+            info["closed"] = self._closing
+        info["epochs"] = self._manager.stats()
+        current = self._manager.current
+        info["facts"] = len(current) if current is not None else 0
+        return info
+
+    def close(self, timeout=None):
+        """Stop accepting ops, drain the queue, stop the writer thread and
+        retire every epoch.  Idempotent.  Ops still queued when the writer
+        exits (only possible when ``timeout`` expires first) fail with
+        :class:`ServingClosed`."""
+        with self._cond:
+            if self._closing:
+                self._cond.notify_all()
+            else:
+                self._closing = True
+                self._cond.notify_all()
+        self._resume.set()
+        self._writer.join(timeout)
+        with self._cond:
+            leftovers = list(self._pending)
+            self._pending.clear()
+        for op in leftovers:
+            op.fail(ServingClosed("serving session closed before this op ran"))
+        self._session.remove_update_listener(self._on_update)
+        self._manager.close()
+
+    @property
+    def closed(self):
+        with self._cond:
+            return self._closing
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False

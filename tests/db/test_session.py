@@ -9,6 +9,7 @@ from repro.db import (
     DRED,
     RECOMPUTE,
     DatabaseSession,
+    SessionError,
     SessionIntegrityError,
     open_session,
 )
@@ -260,6 +261,50 @@ class TestTransactions:
         summary = txn.commit()
         assert summary.inserted == 1
         assert txn.result is summary
+
+    def test_nested_transaction_rejected(self):
+        session = DatabaseSession(TC)
+        with session.transaction() as txn:
+            txn.insert("e(c, d).")
+            with pytest.raises(SessionError, match="already open"):
+                session.transaction()
+        # the rejected open left the committed batch intact...
+        assert session.ask("tc(a, d)")
+        # ...and a closed transaction releases the slot
+        with session.transaction() as txn:
+            txn.insert("e(d, e).")
+        assert session.ask("tc(a, e)")
+
+    def test_reentrant_open_after_rollback_allowed(self):
+        session = DatabaseSession(TC)
+        txn = session.transaction().insert("e(x, y).")
+        with pytest.raises(SessionError):
+            session.transaction()
+        txn.rollback()
+        session.transaction().insert("e(c, d).").commit()
+        assert session.ask("tc(a, d)") and not session.ask("e(x, y)")
+
+    def test_closed_transaction_rejects_staging_and_recommit(self):
+        session = DatabaseSession(TC)
+        txn = session.transaction().insert("e(c, d).")
+        txn.commit()
+        with pytest.raises(SessionError, match="already committed"):
+            txn.insert("e(d, e).")
+        with pytest.raises(SessionError, match="already committed"):
+            txn.commit()
+        rolled = session.transaction()
+        rolled.rollback()
+        rolled.rollback()  # idempotent
+        with pytest.raises(SessionError, match="rolled back"):
+            rolled.retract("e(a, b).")
+
+    def test_dropped_transaction_releases_slot(self):
+        session = DatabaseSession(TC)
+        txn = session.transaction()
+        txn.insert("e(x, y).")
+        del txn  # never committed — dropping it must not wedge the session
+        session.transaction().insert("e(c, d).").commit()
+        assert session.ask("tc(a, d)")
 
 
 class TestQueries:

@@ -1,0 +1,226 @@
+"""Unit tests for the epoch layer: frozen snapshots, overlay stores and
+the epoch manager's publication/pinning/rebase machinery."""
+
+import pytest
+
+from repro.engine.seminaive.relation import (
+    OverlayStore,
+    RelationStore,
+    predicate_indicator,
+)
+from repro.hilog.errors import FrozenStoreError
+from repro.hilog.parser import parse_term
+from repro.hilog.subst import Substitution
+from repro.serve.epochs import EpochManager
+
+
+def atoms(*texts):
+    return [parse_term(text) for text in texts]
+
+
+def base_store(*texts):
+    store = RelationStore()
+    for atom in atoms(*texts):
+        store.add(atom)
+    return store
+
+
+class TestFrozenStore:
+    def test_freeze_blocks_every_mutator(self):
+        store = base_store("e(a, b)")
+        present, absent = atoms("e(a, b)", "e(b, c)")
+        store.freeze()
+        assert store.frozen
+        with pytest.raises(FrozenStoreError):
+            store.add(absent)
+        with pytest.raises(FrozenStoreError):
+            store.remove(present)
+        with pytest.raises(FrozenStoreError):
+            store.add_support(absent)
+        with pytest.raises(FrozenStoreError):
+            store.remove_support(present)
+
+    def test_frozen_duplicate_add_still_short_circuits(self):
+        # Set semantics win over the freeze guard: re-adding a present atom
+        # was always a no-op and stays one (idempotent loaders rely on it).
+        store = base_store("e(a, b)")
+        store.freeze()
+        assert store.add(atoms("e(a, b)")[0]) is False
+
+    def test_frozen_store_still_reads_and_builds_indexes(self):
+        store = base_store("e(a, b)", "e(a, c)", "e(b, c)")
+        store.freeze()
+        e_name, a = atoms("e", "a")
+        facts, exact = store.fetch(e_name, 2, (0,), a)
+        assert exact and len(facts) == 2  # lazy index built post-freeze
+
+    def test_snapshot_is_independent(self):
+        store = base_store("e(a, b)")
+        clone = store.snapshot()
+        extra = atoms("e(b, c)")[0]
+        store.add(extra)
+        assert extra not in clone
+        clone.add(atoms("e(c, d)")[0])
+        assert atoms("e(c, d)")[0] in clone
+        assert atoms("e(c, d)")[0] not in store
+        assert len(clone) == 2 and len(store) == 2
+
+    def test_refcounts(self):
+        store = base_store("e(a, b)")
+        assert store.acquire() == 1
+        assert store.acquire() == 2
+        assert store.release() == 1
+        assert store.release() == 0
+        assert store.release() == 0  # never below zero
+
+
+class TestOverlayStore:
+    def overlay(self, base, added=(), removed=(), previous=None):
+        return OverlayStore(base, atoms(*added), atoms(*removed),
+                            previous=previous)
+
+    def test_membership_and_length(self):
+        base = base_store("e(a, b)", "e(b, c)").freeze()
+        view = self.overlay(base, added=["e(c, d)"], removed=["e(a, b)"])
+        kept, gone, new = atoms("e(b, c)", "e(a, b)", "e(c, d)")
+        assert kept in view and new in view and gone not in view
+        assert len(view) == 2
+        assert sorted(map(str, view)) == ["e(b, c)", "e(c, d)"]
+        # the base is untouched
+        assert gone in base and new not in base
+
+    def test_fetch_filters_and_appends(self):
+        base = base_store("e(a, b)", "e(a, c)").freeze()
+        view = self.overlay(base, added=["e(a, d)"], removed=["e(a, b)"])
+        (e_name,) = atoms("e")
+        facts, _exact = view.fetch(e_name, 2, (), None)
+        assert sorted(map(str, facts)) == ["e(a, c)", "e(a, d)"]
+
+    def test_facts_and_all_facts(self):
+        base = base_store("e(a, b)", "p(x)").freeze()
+        view = self.overlay(base, added=["e(b, c)"], removed=["p(x)"])
+        (e_name,) = atoms("e")
+        assert sorted(map(str, view.facts(e_name, 2))) == [
+            "e(a, b)", "e(b, c)"]
+        facts, _exact = view.all_facts()
+        assert sorted(map(str, facts)) == ["e(a, b)", "e(b, c)"]
+
+    def test_candidates_ground_name(self):
+        base = base_store("e(a, b)").freeze()
+        view = self.overlay(base, added=["e(b, c)"])
+        pattern = parse_term("e(X, Y)")
+        result = view.candidates(pattern, Substitution(), ())
+        assert sorted(map(str, result)) == ["e(a, b)", "e(b, c)"]
+
+    def test_netting_remove_of_added_cancels(self):
+        base = base_store("e(a, b)").freeze()
+        first = self.overlay(base, added=["e(b, c)"])
+        second = self.overlay(base, removed=["e(b, c)"], previous=first)
+        assert atoms("e(b, c)")[0] not in second
+        assert second.overlay_size() == 0
+        assert len(second) == 1
+
+    def test_netting_add_of_tombstoned_cancels(self):
+        base = base_store("e(a, b)").freeze()
+        first = self.overlay(base, removed=["e(a, b)"])
+        second = self.overlay(base, added=["e(a, b)"], previous=first)
+        assert atoms("e(a, b)")[0] in second
+        assert second.overlay_size() == 0
+
+    def test_previous_collapses_chains(self):
+        base = base_store("e(a, b)").freeze()
+        view = self.overlay(base, added=["e(b, c)"])
+        for step in range(3):
+            view = self.overlay(
+                base, added=["f(n%d)" % step], previous=view)
+        assert view.base is base  # single overlay, however many batches
+        assert len(view) == 5
+
+    def test_previous_must_share_base(self):
+        base = base_store("e(a, b)").freeze()
+        other = base_store("e(a, b)").freeze()
+        first = self.overlay(base, added=["e(b, c)"])
+        with pytest.raises(ValueError):
+            OverlayStore(other, previous=first)
+
+    def test_pin_roots_cover_base_added_and_tombstones(self):
+        base = base_store("e(a, b)").freeze()
+        view = self.overlay(base, added=["e(b, c)"], removed=["e(a, b)"])
+        roots = set(view.pin_roots())
+        for text in ("e(a, b)", "e(b, c)"):
+            assert atoms(text)[0] in roots
+
+
+class TestEpochManager:
+    def manager(self, store, **kwargs):
+        return EpochManager(store.snapshot, **kwargs)
+
+    def test_publish_base_then_delta(self):
+        store = base_store("e(a, b)")
+        manager = self.manager(store)
+        first = manager.publish_base()
+        assert first.is_base() and first.eid == 0
+        added = atoms("e(b, c)")
+        store.add(added[0])
+        second = manager.publish_delta(added, [])
+        assert not second.is_base()
+        assert added[0] in second and added[0] not in first
+        assert manager.current is second
+
+    def test_acquire_release_retires_old_epochs(self):
+        store = base_store("e(a, b)")
+        manager = self.manager(store)
+        first = manager.publish_base()
+        pinned = manager.acquire()
+        assert pinned is first and first.refs == 1
+        second = manager.publish_delta(atoms("e(b, c)"), [])
+        assert first.live  # still pinned by the reader
+        manager.release(first)
+        assert not first.live  # retired: unpinned and not current
+        assert second.live
+        assert [epoch.eid for epoch in manager.live_epochs()] == [second.eid]
+
+    def test_layer_refcounts_follow_epoch_liveness(self):
+        store = base_store("e(a, b)")
+        manager = self.manager(store)
+        first = manager.publish_base()
+        base_layer = first.store
+        assert base_layer.refs == 1
+        manager.acquire()  # pin the base epoch so it stays live
+        second = manager.publish_delta(atoms("e(b, c)"), [])
+        # the overlay holds the base too: one ref from each live epoch
+        assert base_layer.refs == 2
+        third = manager.publish_delta(atoms("e(c, d)"), [])
+        # second retired (unpinned, not current); first still pinned
+        assert base_layer.refs == 2
+        assert third.store.refs == 1
+        assert second.store.refs == 0
+        manager.release(first)
+        assert base_layer.refs == 1  # only third's overlay holds it now
+
+    def test_rebase_after_overlay_outgrows_base(self):
+        store = base_store("e(a, b)", "e(b, c)")
+        manager = self.manager(store, rebase_ratio=0.5, rebase_min=2)
+        manager.publish_base()
+        epochs = []
+        for step in range(4):
+            atom = atoms("f(n%d)" % step)[0]
+            store.add(atom)
+            epochs.append(manager.publish_delta([atom], []))
+        assert manager.stats()["rebases"] >= 1
+        assert any(epoch.is_base() for epoch in epochs)
+        assert len(epochs[-1]) == 6  # rebasing never changes the contents
+
+    def test_acquire_without_publication_raises(self):
+        manager = self.manager(base_store())
+        with pytest.raises(RuntimeError):
+            manager.acquire()
+
+    def test_close_retires_everything(self):
+        store = base_store("e(a, b)")
+        manager = self.manager(store)
+        epoch = manager.publish_base()
+        manager.close()
+        assert not epoch.live
+        assert manager.current is None
+        assert manager.live_epochs() == []

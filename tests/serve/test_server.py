@@ -1,0 +1,204 @@
+"""HTTP front-end tests: real sockets on an ephemeral port, endpoint
+behavior, backpressure mapping, request timeouts and clean shutdown."""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import ServingSession
+from repro.serve.server import serve
+
+TC_PROGRAM = """
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+    e(a, b). e(b, c).
+"""
+
+
+class RunningServer:
+    """Runs the asyncio server on a background thread for the tests."""
+
+    def __init__(self, serving, request_timeout=5.0):
+        self.serving = serving
+        self._ready = threading.Event()
+        self._loop = None
+        self._task = None
+        self.address = None
+        self._thread = threading.Thread(
+            target=self._run, args=(request_timeout,), daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10), "server did not start"
+
+    def _run(self, request_timeout):
+        asyncio.run(self._main(request_timeout))
+
+    async def _main(self, request_timeout):
+        def on_ready(server):
+            self.address = server.address
+            self._ready.set()
+
+        self._loop = asyncio.get_event_loop()
+        self._task = self._loop.create_task(serve(
+            self.serving, port=0, request_timeout=request_timeout,
+            ready=on_ready,
+        ))
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+
+    def stop(self):
+        self._loop.call_soon_threadsafe(self._task.cancel)
+        self._thread.join(10)
+        assert not self._thread.is_alive(), "server thread did not exit"
+
+    # -- tiny test client ----------------------------------------------------
+
+    def request(self, method, path, payload=None, connection=None):
+        conn = connection or http.client.HTTPConnection(*self.address,
+                                                        timeout=10)
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = json.loads(response.read().decode("utf-8"))
+        result = (response.status, data, dict(response.getheaders()))
+        if connection is None:
+            conn.close()
+        return result
+
+    def get(self, path, **kwargs):
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path, payload, **kwargs):
+        return self.request("POST", path, payload, **kwargs)
+
+
+@pytest.fixture
+def server():
+    serving = ServingSession(TC_PROGRAM, max_pending=4)
+    running = RunningServer(serving)
+    try:
+        yield running
+    finally:
+        running.stop()
+        serving.close()
+
+
+class TestEndpoints:
+    def test_healthz_and_stats(self, server):
+        status, body, _headers = server.get("/healthz")
+        assert status == 200 and body == {"ok": True}
+        status, body, _headers = server.get("/stats")
+        assert status == 200
+        assert body["epochs"]["published"] >= 1
+        assert body["requests"] >= 1
+
+    def test_query_ask_value(self, server):
+        status, body, _headers = server.post("/query", {"query": "tc(a, X)"})
+        assert status == 200
+        assert sorted(body["answers"]) == ["tc(a, b)", "tc(a, c)"]
+        assert body["count"] == 2 and body["epoch"] == 0
+        status, body, _headers = server.post("/ask", {"atom": "tc(a, c)"})
+        assert status == 200 and body["result"] is True
+        status, body, _headers = server.post("/value", {"atom": "tc(c, a)"})
+        assert status == 200 and body["value"] == "false"
+
+    def test_insert_then_retract(self, server):
+        status, body, _headers = server.post("/insert",
+                                             {"facts": "e(c, d)."})
+        assert status == 200
+        assert body["inserted"] == 1 and body["mode"] == "incremental"
+        status, body, _headers = server.post("/query", {"query": "tc(a, X)"})
+        assert body["count"] == 3 and body["epoch"] == 1
+        status, body, _headers = server.post("/retract",
+                                             {"facts": "e(c, d)."})
+        assert status == 200 and body["retracted"] == 1
+        status, body, _headers = server.post("/ask", {"atom": "tc(a, d)"})
+        assert body["result"] is False
+
+    def test_fire_and_forget_write(self, server):
+        status, body, _headers = server.post(
+            "/insert", {"facts": "e(c, e).", "wait": False})
+        assert status == 200 and body["queued"] is True
+        server.serving.flush(5)
+        status, body, _headers = server.post("/ask", {"atom": "tc(a, e)"})
+        assert body["result"] is True
+
+    def test_keep_alive_serves_multiple_requests(self, server):
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            for _ in range(3):
+                status, body, headers = server.post(
+                    "/query", {"query": "e(X, Y)"}, connection=conn)
+                assert status == 200 and body["count"] == 2
+                assert headers.get("Connection") == "keep-alive"
+        finally:
+            conn.close()
+
+    def test_error_mapping(self, server):
+        status, body, _headers = server.get("/nope")
+        assert status == 404
+        status, body, _headers = server.get("/query")
+        assert status == 405
+        status, body, _headers = server.post("/query", {"wrong": "field"})
+        assert status == 400
+        status, body, _headers = server.post("/insert",
+                                             {"facts": "p(X) :- q(X)."})
+        assert status == 400 and "error" in body
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            conn.request("POST", "/query", body="{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            conn.close()
+
+    def test_backpressure_maps_to_503_with_retry_after(self, server):
+        server.serving.pause()
+        try:
+            for i in range(4):
+                status, _body, _headers = server.post(
+                    "/insert", {"facts": "p(b%d)." % i, "wait": False})
+                assert status == 200
+            status, body, headers = server.post(
+                "/insert", {"facts": "p(overflow).", "wait": False})
+            assert status == 503
+            assert float(headers["Retry-After"]) > 0
+            assert "queue full" in body["error"]
+        finally:
+            server.serving.resume()
+        server.serving.flush(5)
+
+    def test_request_timeout_maps_to_504(self):
+        serving = ServingSession(TC_PROGRAM)
+        running = RunningServer(serving, request_timeout=0.3)
+        try:
+            serving.pause()  # the batch never applies within the budget
+            status, body, _headers = running.post(
+                "/insert", {"facts": "e(z, z)."})
+            assert status == 504
+            assert "exceeded" in body["error"]
+        finally:
+            serving.resume()
+            running.stop()
+            serving.close()
+
+    def test_clean_shutdown_leaves_session_usable(self):
+        serving = ServingSession(TC_PROGRAM)
+        running = RunningServer(serving)
+        status, _body, _headers = running.get("/healthz")
+        assert status == 200
+        running.stop()
+        # the server released its sockets; the serving session lives on
+        assert serving.ask("tc(a, c)")
+        serving.insert("e(c, d).", timeout=5)
+        assert serving.ask("tc(a, d)")
+        serving.close()
+        with pytest.raises(ConnectionError):
+            running.get("/healthz")
