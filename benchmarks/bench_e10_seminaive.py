@@ -62,12 +62,12 @@ def _timed(fn):
 @pytest.mark.parametrize("length", TC_SIZES)
 def test_transitive_closure_scaling(benchmark, length, strategy):
     program = transitive_closure_program(chain_edges(length))
-    EXECUTION_STATS.reset()
+    before = EXECUTION_STATS.snapshot()
     model = benchmark.pedantic(
         lambda: perfect_model_for_hilog(program, strategy=strategy),
         rounds=1, iterations=1,
     )
-    benchmark.extra_info.update(EXECUTION_STATS.snapshot())
+    benchmark.extra_info.update(EXECUTION_STATS.diff(before))
     if strategy == "seminaive":
         # Attribute the win: how much the engine allocates for this model.
         tracemalloc.start()
@@ -92,11 +92,11 @@ def test_transitive_closure_strategy_comparison(benchmark):
         times = {}
         candidates = {}
         for strategy in STRATEGIES:
-            EXECUTION_STATS.reset()
+            before = EXECUTION_STATS.snapshot()
             model, elapsed = _timed(
                 lambda strategy=strategy: perfect_model_for_hilog(program, strategy=strategy)
             )
-            candidates[strategy] = EXECUTION_STATS.candidates
+            candidates[strategy] = EXECUTION_STATS.diff(before)["candidates"]
             pairs = {
                 (repr(a.args[0]), repr(a.args[1]))
                 for a in model.true if repr(a).startswith("tc(")

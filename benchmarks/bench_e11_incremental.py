@@ -76,7 +76,7 @@ def test_chain200_single_edge_insert_and_retract(benchmark):
     session.check()
 
     times = {"insert": [], "retract": []}
-    EXECUTION_STATS.reset()
+    before = EXECUTION_STATS.snapshot()
     for _ in range(5):
         start = time.perf_counter()
         session.insert(edge)
@@ -84,7 +84,7 @@ def test_chain200_single_edge_insert_and_retract(benchmark):
         start = time.perf_counter()
         session.retract(edge)
         times["retract"].append(time.perf_counter() - start)
-    update_stats = EXECUTION_STATS.snapshot()
+    update_stats = EXECUTION_STATS.diff(before)
     session.check()
     t_insert = min(times["insert"])
     t_retract = min(times["retract"])
@@ -182,19 +182,19 @@ def test_closure_churn_stream(benchmark):
     session = DatabaseSession(program)
     stream = edge_churn_stream(edges, operations=40, seed=11)
 
-    EXECUTION_STATS.reset()
+    before = EXECUTION_STATS.snapshot()
     start = time.perf_counter()
     replay(session, stream)
     incremental = time.perf_counter() - start
-    incremental_candidates = EXECUTION_STATS.candidates
+    incremental_candidates = EXECUTION_STATS.diff(before)["candidates"]
     session.check()
 
-    EXECUTION_STATS.reset()
+    before = EXECUTION_STATS.snapshot()
     start = time.perf_counter()
     for _ in range(len(stream)):
         seminaive_evaluate(program)
     scratch = time.perf_counter() - start
-    scratch_candidates = EXECUTION_STATS.candidates
+    scratch_candidates = EXECUTION_STATS.diff(before)["candidates"]
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     benchmark.extra_info.update(

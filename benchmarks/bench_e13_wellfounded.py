@@ -99,11 +99,11 @@ def test_composed_game_speedup(benchmark):
     # process's one-time costs (module imports, first-use code paths) that
     # the 1000x-larger ground measurement shrugs off.
     well_founded_for_hilog(program, strategy="seminaive")
-    EXECUTION_STATS.reset()
+    before = EXECUTION_STATS.snapshot()
     fast, seminaive_s = _timed(
         lambda: well_founded_for_hilog(program, strategy="seminaive")
     )
-    stats = EXECUTION_STATS.snapshot()
+    stats = EXECUTION_STATS.diff(before)
     ground, ground_s = _timed(lambda: well_founded_for_hilog(program))
 
     # Identical three-valued partitions, and both match the game-theoretic
@@ -153,11 +153,11 @@ def test_plain_game_agreement(benchmark):
     edges = _edges()
     program = normal_game_program(edges)
 
-    EXECUTION_STATS.reset()
+    before = EXECUTION_STATS.snapshot()
     fast, seminaive_s = _timed(
         lambda: well_founded_for_hilog(program, strategy="seminaive")
     )
-    stats = EXECUTION_STATS.snapshot()
+    stats = EXECUTION_STATS.diff(before)
     ground, ground_s = _timed(lambda: well_founded_for_hilog(program))
     assert fast.true == ground.true
     assert fast.undefined == ground.undefined

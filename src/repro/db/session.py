@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import weakref
 
+from time import perf_counter as _perf_counter
 from typing import NamedTuple, Tuple
 
 from repro.core.magic.evaluate import answer_from_store
@@ -68,11 +69,14 @@ from repro.db.maintenance import (
 from repro.db.plans import COUNTING, DRED, RECOMPUTE, build_maintenance_plans
 from repro.engine.interpretation import Interpretation
 from repro.engine.seminaive.engine import (
+    EXECUTION_STATS,
     SeminaiveUnsupported,
     evaluate_stratum,
     seminaive_evaluate,
     stratify_program,
 )
+from repro.obs.metrics import COUNT_BUCKETS, get_registry
+from repro.obs.trace import current_tracer
 from repro.engine.seminaive.wellfounded import seminaive_well_founded
 from repro.engine.seminaive.relation import RelationStore, predicate_indicator
 from repro.hilog.errors import GroundingError, HiLogError
@@ -561,10 +565,21 @@ class DatabaseSession:
         directly (``collect(pins=answers)``), substitutions through
         ``Substitution.pin_roots()``.  Returns the collection stats dict.
         """
+        started = _perf_counter()
         stats = collect_generation(pins=pins)
         # Reset only after a successful sweep: a GenerationError (collect
         # inside an open generation) must not postpone the next auto-gc.
         self._updates_since_collect = 0
+        duration = _perf_counter() - started
+        get_registry().histogram(
+            "repro_session_collect_seconds", "Intern-table sweep latency",
+            family="session",
+        ).observe(duration)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit("collect", duration_s=duration,
+                        **{key: value for key, value in stats.items()
+                           if isinstance(value, (int, float))})
         return stats
 
     # -- updates ------------------------------------------------------------
@@ -623,6 +638,49 @@ class DatabaseSession:
         return self._unknown_stratum
 
     def _apply(self, inserts, retracts):
+        """One maintained update batch, wrapped in the observability layer:
+        per-update latency/size metrics (family ``"session"``) and, when a
+        tracer is installed, a ``maintenance`` span carrying the register
+        executor's fetch/candidate deltas."""
+        started = _perf_counter()
+        tracer = current_tracer()
+        stats_before = EXECUTION_STATS.snapshot() if tracer is not None else None
+        registry = get_registry()
+        try:
+            result = self._apply_inner(inserts, retracts)
+        except Exception:
+            registry.counter(
+                "repro_session_update_failures",
+                "Update batches that raised", family="session",
+            ).inc()
+            raise
+        duration = _perf_counter() - started
+        registry.counter(
+            "repro_session_updates", "Update batches applied",
+            family="session",
+        ).inc()
+        registry.histogram(
+            "repro_session_update_seconds", "Update batch latency",
+            family="session",
+        ).observe(duration)
+        registry.histogram(
+            "repro_session_batch_facts",
+            "EDB facts touched per update batch", family="session",
+            buckets=COUNT_BUCKETS,
+        ).observe(result.inserted + result.retracted)
+        if tracer is not None:
+            stats = EXECUTION_STATS.diff(stats_before)
+            tracer.emit(
+                "maintenance", mode=result.mode,
+                inserted=result.inserted, retracted=result.retracted,
+                added=len(result.added), removed=len(result.removed),
+                strata=result.strata_touched, duration_s=duration,
+                fetches=stats["fetches"], candidates=stats["candidates"],
+                alternations=stats["alternations"],
+            )
+        return result
+
+    def _apply_inner(self, inserts, retracts):
         overlap = set(inserts) & set(retracts)
         if overlap:
             raise ValueError(
@@ -805,6 +863,37 @@ class DatabaseSession:
         if atom in self._undefined:
             return "undefined"
         return "false"
+
+    def explain(self, fact):
+        """Why is this ground atom true (or undefined)?  Returns a
+        :class:`~repro.obs.explain.Derivation` tree.
+
+        A true atom gets a proof: a rule instance re-verified against the
+        store, its positive body facts recursively explained down to the
+        EDB (in incremental mode the maintenance bundles' head-bound
+        rederivation plans pre-filter candidate rules, and counting-stratum
+        support counts annotate each node).  In well-founded mode an
+        undefined atom gets a negation-loop witness: a chain of
+        overestimate rule instances hinging on undefined subgoals until the
+        chain bites its own tail — the negation SCC the alternating
+        fixpoint could not resolve.  A false atom returns a single
+        ``"false"`` node.  Raises
+        :class:`~repro.obs.explain.ExplainError` for non-ground input and
+        atoms derivable only through aggregates.
+        """
+        from repro.obs.explain import ExplainError, explain_atom
+
+        if isinstance(fact, str):
+            with intern_generation():
+                fact = parse_term(fact)
+        if not isinstance(fact, Term):
+            raise ExplainError("explain() takes a ground atom or its text, "
+                               "got %r" % (fact,))
+        return explain_atom(
+            fact, self._rules, self._store,
+            edb=frozenset(self._edb), undefined=self._undefined,
+            plans=self._plans,
+        )
 
     def query(self, query):
         """Answer a query against the maintained model.

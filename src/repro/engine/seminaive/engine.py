@@ -51,7 +51,10 @@ from __future__ import annotations
 
 import contextvars as _contextvars
 
+from time import perf_counter as _perf_counter
 from typing import Dict, FrozenSet, NamedTuple, Optional, Tuple
+
+from repro.obs.trace import current_tracer
 
 from repro.engine.aggregates import evaluate_aggregate
 from repro.engine.builtins import solve_builtin
@@ -428,6 +431,19 @@ class ExecutionStats:
             "fetches": cell.fetches,
             "candidates": cell.candidates,
             "alternations": cell.alternations,
+        }
+
+    def diff(self, before):
+        """Per-counter deltas accumulated since ``before`` (a
+        :meth:`snapshot` dict): measure with ``before = stats.snapshot()``
+        ... work ... ``stats.diff(before)``, instead of the historical
+        reset-around-measurement dance — which destroyed any outer
+        window's counts and could never nest."""
+        cell = self.counters()
+        return {
+            "fetches": cell.fetches - before.get("fetches", 0),
+            "candidates": cell.candidates - before.get("candidates", 0),
+            "alternations": cell.alternations - before.get("alternations", 0),
         }
 
     def reset(self):
@@ -1049,6 +1065,10 @@ def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
     Returns ``(iterations, added)`` where ``added`` lists the facts newly
     added to the store (excluding the seeds themselves).
     """
+    tracer = current_tracer()
+    if tracer is not None:
+        started = _perf_counter()
+        stats_before = EXECUTION_STATS.snapshot()
     added = []
     check_depth = max_term_depth is not None
     if seed_delta is None:
@@ -1069,6 +1089,8 @@ def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
 
     while delta:
         iterations += 1
+        if tracer is not None:
+            tracer.emit("iteration", iteration=iterations, delta=len(delta))
         delta_store = DeltaStore(delta)
         delta = []
         sources = PlanSources(store, delta_store, negation=negation_store)
@@ -1081,6 +1103,13 @@ def evaluate_stratum(stratum, store, max_facts=1000000, max_term_depth=None,
                 if store.add(head):
                     delta.append(head)
                     added.append(head)
+    if tracer is not None:
+        stats = EXECUTION_STATS.diff(stats_before)
+        tracer.emit(
+            "stratum", seeded=seed_delta is not None, iterations=iterations,
+            added=len(added), duration_s=_perf_counter() - started,
+            fetches=stats["fetches"], candidates=stats["candidates"],
+        )
     return iterations, added
 
 
@@ -1099,6 +1128,9 @@ def seminaive_evaluate(program, extra_facts=(), max_facts=1000000, max_term_dept
     rules, mirroring the grounding path's behaviour.
     """
     stratification = stratify_program(program)
+    tracer = current_tracer()
+    if tracer is not None:
+        started = _perf_counter()
 
     store = RelationStore()
     seeds = set()
@@ -1125,6 +1157,11 @@ def seminaive_evaluate(program, extra_facts=(), max_facts=1000000, max_term_dept
         strata_names.append(frozenset(predicate_name(rule.head) for rule in rules))
 
     true = frozenset(store)
+    if tracer is not None:
+        tracer.emit(
+            "evaluate", strata=len(strata_names), iterations=iterations,
+            facts=len(true), duration_s=_perf_counter() - started,
+        )
     return SeminaiveResult(
         true=true,
         derived=true - seeds,

@@ -58,6 +58,7 @@ non-stratified programs.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import FrozenSet, NamedTuple, Tuple
 
 from repro.engine.interpretation import Interpretation
@@ -81,6 +82,7 @@ from repro.engine.seminaive.relation import (
 )
 from repro.engine.wellfounded import WellFoundedResult
 from repro.hilog.errors import GroundingError
+from repro.obs.trace import current_tracer
 from repro.hilog.program import Literal, Rule
 from repro.hilog.terms import Term, predicate_name
 
@@ -162,6 +164,7 @@ def _alternate_stratum(stratum, under, over_extra, max_facts, max_term_depth):
     Returns ``(iterations, alternations, final_layer)``.
     """
     variants = _negation_variants(stratum)
+    tracer = current_tracer()
     iterations = 0
     alternations = 0
     previous_layer = None
@@ -169,6 +172,7 @@ def _alternate_stratum(stratum, under, over_extra, max_facts, max_term_depth):
     while True:
         alternations += 1
         EXECUTION_STATS.alternations += 1
+        iterations_before = iterations
 
         # Overestimate phase: least fixpoint with ``not a`` ⇔ a ∉ under.
         layer = RelationStore()
@@ -215,6 +219,12 @@ def _alternate_stratum(stratum, under, over_extra, max_facts, max_term_depth):
                     max_facts=max_facts, max_term_depth=max_term_depth,
                 )
                 iterations += its
+        if tracer is not None:
+            tracer.emit(
+                "alternation", alternation=alternations,
+                over=len(layer), under=len(under),
+                iterations=iterations - iterations_before, grew=grew,
+            )
         if not grew:
             # U_k == U_{k-1}, hence O_{k+1} would equal O_k: converged.
             # ``layer`` was computed against the final underestimate, so it
@@ -239,6 +249,9 @@ def seminaive_well_founded(program, extra_facts=(), max_facts=1000000,
     cap trips, mirroring the stratified engine's contract.
     """
     stratification = stratify_program(program, allow_unstratified=True)
+    tracer = current_tracer()
+    if tracer is not None:
+        started = _perf_counter()
 
     under = RelationStore()
     for atom in extra_facts:
@@ -316,6 +329,12 @@ def seminaive_well_founded(program, extra_facts=(), max_facts=1000000,
             over_extra.add(atom)
             uncertain.add(predicate_indicator(atom))
 
+    if tracer is not None:
+        tracer.emit(
+            "wellfounded", strata=len(strata_names), iterations=iterations,
+            alternations=alternations, true=len(under),
+            undefined=len(over_extra), duration_s=_perf_counter() - started,
+        )
     return SeminaiveWellFoundedResult(
         true=frozenset(under),
         undefined=frozenset(over_extra),

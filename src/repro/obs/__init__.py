@@ -1,0 +1,59 @@
+"""Observability: metrics registry, evaluation tracing, derivation explain.
+
+``repro.obs.metrics`` and ``repro.obs.trace`` are dependency-free and
+imported eagerly (the engine's span hooks import them, so they must not
+import the engine back).  ``repro.obs.explain`` *does* import the engine —
+it replays rule instances against the store — and is loaded lazily via
+PEP 562 so ``repro.engine`` can import this package mid-initialization
+without a cycle.
+"""
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    get_registry,
+    parse_prometheus_text,
+    render_prometheus,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    EvaluationTracer,
+    current_tracer,
+    set_global_tracer,
+    tracing,
+)
+
+_EXPLAIN_NAMES = ("Derivation", "ExplainError", "explain_atom",
+                  "verify_derivation")
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "get_registry",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "set_default_registry",
+    "use_registry",
+    "EvaluationTracer",
+    "current_tracer",
+    "set_global_tracer",
+    "tracing",
+] + list(_EXPLAIN_NAMES)
+
+
+def __getattr__(name):
+    if name in _EXPLAIN_NAMES:
+        from repro.obs import explain as _explain
+        value = getattr(_explain, name)
+        globals()[name] = value
+        return value
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -17,8 +17,17 @@
 
         python -m repro.serve load extra_edges.hilog --port 8273
 
+``explain ATOM``
+    Ask a running server for a derivation tree::
+
+        python -m repro.serve explain 'tc(a, c)' --port 8273
+
 ``stats``
     Print a running server's statistics as JSON.
+
+``serve`` accepts ``--trace-log PATH`` (append structured evaluation
+events as JSON lines while serving) and ``--slow-query-ms N`` (threshold
+for the server's slow-query log).
 
 The client commands talk plain HTTP (:mod:`urllib.request`), so they work
 against any instance of :mod:`repro.serve.server`, local or not.
@@ -82,10 +91,26 @@ def _cmd_serve(args):
         print("serving %s on http://%s:%d (Ctrl-C to stop)"
               % (args.program, host, port), flush=True)
 
-    run(program, host=args.host, port=args.port,
-        request_timeout=args.timeout, ready=ready,
-        max_pending=args.max_pending, max_batch=args.max_batch,
-        strategy=args.strategy, intern_gc=args.intern_gc)
+    tracer = None
+    if args.trace_log:
+        from repro.obs.trace import EvaluationTracer, set_global_tracer
+
+        # Global (not contextvar) so the writer thread's maintenance
+        # passes land in the same log as the event loop's requests.
+        tracer = EvaluationTracer(sink=args.trace_log)
+        set_global_tracer(tracer)
+    try:
+        run(program, host=args.host, port=args.port,
+            request_timeout=args.timeout, ready=ready,
+            slow_query_ms=args.slow_query_ms,
+            max_pending=args.max_pending, max_batch=args.max_batch,
+            strategy=args.strategy, intern_gc=args.intern_gc)
+    finally:
+        if tracer is not None:
+            from repro.obs.trace import set_global_tracer
+
+            set_global_tracer(None)
+            tracer.close()
     print("server stopped")
     return 0
 
@@ -120,6 +145,14 @@ def _cmd_load(args):
     return 0
 
 
+def _cmd_explain(args):
+    import urllib.parse
+
+    result = _request(args, "/explain?q=" + urllib.parse.quote(args.atom))
+    print(json.dumps(result["explanation"], indent=2))
+    return 0
+
+
 def _cmd_stats(args):
     print(json.dumps(_request(args, "/stats"), indent=2, sort_keys=True))
     return 0
@@ -151,6 +184,12 @@ def build_parser():
                                     "recompute"))
     serve_cmd.add_argument("--intern-gc", type=int, default=None,
                            help="sweep intern tables every N updates")
+    serve_cmd.add_argument("--trace-log", default=None, metavar="PATH",
+                           help="append evaluation trace events to this "
+                                "JSONL file while serving")
+    serve_cmd.add_argument("--slow-query-ms", type=float, default=500.0,
+                           help="log requests slower than this many "
+                                "milliseconds")
     serve_cmd.set_defaults(run=_cmd_serve)
 
     query_cmd = commands.add_parser("query", parents=[common],
@@ -169,6 +208,13 @@ def build_parser():
     load_cmd.add_argument("--batch", type=int, default=256,
                           help="facts per request")
     load_cmd.set_defaults(run=_cmd_load)
+
+    explain_cmd = commands.add_parser("explain", parents=[common],
+                                      help="derivation tree for a true "
+                                           "atom (or a negation-loop "
+                                           "witness for an undefined one)")
+    explain_cmd.add_argument("atom", help="ground atom, e.g. 'tc(a, b)'")
+    explain_cmd.set_defaults(run=_cmd_explain)
 
     stats_cmd = commands.add_parser("stats", parents=[common],
                                     help="print server statistics")

@@ -43,6 +43,7 @@ import threading
 
 from repro.engine.seminaive.relation import OverlayStore, RelationStore
 from repro.hilog.terms import register_pin_provider
+from repro.obs.trace import current_tracer
 
 
 class Epoch:
@@ -167,6 +168,10 @@ class EpochManager:
         if volume > self._rebase_min and \
                 volume > self._rebase_ratio * max(len(base), 1):
             self._rebases += 1
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.emit("rebase", overlay=volume, base=len(base),
+                            version=version)
             return self.publish_base(undefined, version)
         return self._install(overlay, undefined, version)
 

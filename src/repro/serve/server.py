@@ -16,22 +16,41 @@ Endpoints (JSON in, JSON out):
 ``POST /retract``  ``{"facts": ...[, "wait": false]}``
     → the batch's update summary, or ``{"queued": true}`` with
     ``"wait": false`` (fire-and-forget; parse errors surface in stats only)
-``GET  /stats``    serving-layer statistics
-``GET  /healthz``  liveness probe
+``GET  /explain``  ``?q=tc(a,%20b)`` → the atom's derivation tree
+    (:meth:`~repro.db.session.DatabaseSession.explain`, computed on the
+    writer thread)
+``GET  /metrics``  the process metrics registry in Prometheus text
+    exposition format (request-latency histograms, writer-queue gauges,
+    session maintenance metrics)
+``GET  /stats``    serving-layer statistics, per-endpoint request counts,
+    and the slow-query log
+``GET  /healthz``  liveness probe: ``503`` once the writer thread has
+    died or the serving session is closed — not an unconditional 200
 
 Error mapping: a full write queue answers ``503`` with a ``Retry-After``
 header (backpressure is the client's problem to pace, not the server's to
 buffer); a request exceeding the per-request timeout answers ``504``;
 malformed input answers ``400``.
+
+Every request lands in the ``"http"`` metric family
+(``repro_http_request_seconds`` histogram, ``repro_http_requests``
+counters labelled by endpoint and status), and requests slower than
+``slow_query_ms`` are kept in a bounded in-memory slow-query log (also
+emitted as ``slow_request`` trace events when a tracer is installed).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
+import urllib.parse
 
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.obs.metrics import get_registry
+from repro.obs.trace import current_tracer
 from repro.serve.session import ServingClosed, ServingSession, WriteQueueFull
 
 #: Refuse request bodies beyond this size (1 MiB) — the write path is for
@@ -67,19 +86,36 @@ class ServeServer:
             the request, running the query / waiting for the write batch,
             everything up to the response.
         readers: thread-pool width for query execution.
+        slow_query_ms: requests slower than this (milliseconds) land in
+            the slow-query log (``/stats``) and, when a tracer is
+            installed, emit ``slow_request`` trace events.
     """
 
+    #: Endpoints that get their own metric label; anything else (404
+    #: scans, typos) collapses into ``"other"`` so label cardinality
+    #: stays bounded no matter what clients throw at the port.
+    ENDPOINTS = frozenset((
+        "/query", "/ask", "/value", "/insert", "/retract",
+        "/explain", "/metrics", "/stats", "/healthz",
+    ))
+
+    #: Slow-query log depth — a diagnostic window, not an archive.
+    SLOW_LOG_CAPACITY = 64
+
     def __init__(self, serving, host="127.0.0.1", port=8273,
-                 request_timeout=10.0, readers=8):
+                 request_timeout=10.0, readers=8, slow_query_ms=500.0):
         self._serving = serving
         self._host = host
         self._port = port
         self._timeout = request_timeout
+        self._slow_query_ms = slow_query_ms
         self._executor = ThreadPoolExecutor(
             max_workers=readers, thread_name_prefix="repro-serve-reader",
         )
         self._server = None
         self._requests = 0
+        self._requests_by_endpoint = {}
+        self._slow_log = deque(maxlen=self.SLOW_LOG_CAPACITY)
 
     @property
     def address(self):
@@ -127,29 +163,38 @@ class ServeServer:
                     break  # client closed
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
+                endpoint = path.partition("?")[0]
+                if endpoint not in self.ENDPOINTS:
+                    endpoint = "other"
+                started = time.perf_counter()
                 try:
                     status, payload = await asyncio.wait_for(
                         self._dispatch(method, path, body),
                         self._timeout,
                     )
                 except asyncio.TimeoutError:
+                    self._observe(endpoint, 504, started, method, path)
                     await self._respond_error(writer, _HttpError(
                         504, "request exceeded %.1fs" % self._timeout,
                     ), close=True)
                     break
                 except _HttpError as error:
+                    self._observe(endpoint, error.status, started,
+                                  method, path)
                     await self._respond_error(writer, error,
                                               close=not keep_alive)
                     if not keep_alive:
                         break
                     continue
                 except Exception as error:  # surface, don't kill the server
+                    self._observe(endpoint, 500, started, method, path)
                     await self._respond_error(writer, _HttpError(
                         500, "%s: %s" % (type(error).__name__, error),
                     ), close=not keep_alive)
                     if not keep_alive:
                         break
                     continue
+                self._observe(endpoint, status, started, method, path)
                 await self._respond(writer, status, payload,
                                     close=not keep_alive)
                 if not keep_alive:
@@ -192,20 +237,70 @@ class ServeServer:
         body = await reader.readexactly(length) if length else b""
         return method.upper(), path, headers, body
 
+    # -- observation ---------------------------------------------------------
+
+    def _observe(self, endpoint, status, started, method, path):
+        """Record one finished request: counters, latency, slow log."""
+        duration = time.perf_counter() - started
+        self._requests += 1
+        self._requests_by_endpoint[endpoint] = (
+            self._requests_by_endpoint.get(endpoint, 0) + 1
+        )
+        registry = get_registry()
+        registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request latency in seconds, by endpoint.",
+            family="http", labels={"endpoint": endpoint},
+        ).observe(duration)
+        registry.counter(
+            "repro_http_requests",
+            "HTTP requests served, by endpoint and status.",
+            family="http",
+            labels={"endpoint": endpoint, "status": str(status)},
+        ).inc()
+        if duration * 1000.0 >= self._slow_query_ms:
+            entry = {
+                "method": method, "path": path, "status": status,
+                "duration_ms": round(duration * 1000.0, 3),
+                "ts": time.time(),
+            }
+            self._slow_log.append(entry)
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.emit("slow_request", **entry)
+
     # -- dispatch ------------------------------------------------------------
 
     async def _dispatch(self, method, path, body):
-        self._requests += 1
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
                 raise _HttpError(405, "use GET")
-            return 200, {"ok": not self._serving.closed}
+            alive = self._serving.writer_alive
+            closed = self._serving.closed
+            ok = alive and not closed
+            return 200 if ok else 503, {
+                "ok": ok,
+                "writer_alive": alive,
+                "closed": closed,
+                "pending": self._serving.pending(),
+            }
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return 200, get_registry().render_prometheus()
+        if path == "/explain":
+            if method != "GET":
+                raise _HttpError(405, "use GET")
+            return await self._do_explain(query)
         if path == "/stats":
             if method != "GET":
                 raise _HttpError(405, "use GET")
             stats = dict(self._serving.stats())
             stats["requests"] = self._requests
+            stats["requests_by_endpoint"] = dict(self._requests_by_endpoint)
+            stats["slow_query_ms"] = self._slow_query_ms
+            stats["slow_queries"] = list(self._slow_log)
             return 200, stats
         if path in ("/query", "/ask", "/value", "/insert", "/retract"):
             if method != "POST":
@@ -272,6 +367,22 @@ class ServeServer:
         key = "result" if kind == "ask" else "value"
         return 200, {key: result, "epoch": eid}
 
+    async def _do_explain(self, query):
+        params = urllib.parse.parse_qs(query)
+        values = params.get("q") or []
+        if not values or not values[0].strip():
+            raise _HttpError(400, "query parameter 'q' (an atom) required")
+        text = values[0]
+        try:
+            future = self._serving.submit_explain(text)
+        except ServingClosed as error:
+            raise _HttpError(503, str(error))
+        try:
+            tree = await asyncio.wrap_future(future)
+        except Exception as error:
+            raise _HttpError(400, "%s: %s" % (type(error).__name__, error))
+        return 200, {"atom": text, "explanation": tree.to_dict()}
+
     async def _do_write(self, payload, insert):
         facts = self._field(payload, "facts")
         wait = payload.get("wait", True)
@@ -308,10 +419,16 @@ class ServeServer:
 
     async def _respond(self, writer, status, payload, close,
                        extra_headers=()):
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text body (the /metrics exposition format).
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         lines = [
             "HTTP/1.1 %d %s" % (status, _REASONS.get(status, "Unknown")),
-            "Content-Type: application/json",
+            "Content-Type: %s" % content_type,
             "Content-Length: %d" % len(body),
             "Connection: %s" % ("close" if close else "keep-alive"),
         ]
@@ -332,14 +449,15 @@ class ServeServer:
 
 
 async def serve(serving, host="127.0.0.1", port=8273, request_timeout=10.0,
-                readers=8, ready=None):
+                readers=8, slow_query_ms=500.0, ready=None):
     """Run a server for ``serving`` until cancelled.
 
     ``ready``, when given, is a callable invoked with the
     :class:`ServeServer` once it is accepting connections (used by the CLI
     to print the bound address, and by tests to learn the port)."""
     server = ServeServer(serving, host=host, port=port,
-                         request_timeout=request_timeout, readers=readers)
+                         request_timeout=request_timeout, readers=readers,
+                         slow_query_ms=slow_query_ms)
     await server.start()
     if ready is not None:
         ready(server)
@@ -352,7 +470,7 @@ async def serve(serving, host="127.0.0.1", port=8273, request_timeout=10.0,
 
 
 def run(program, host="127.0.0.1", port=8273, request_timeout=10.0,
-        readers=8, ready=None, **serving_kwargs):
+        readers=8, slow_query_ms=500.0, ready=None, **serving_kwargs):
     """Blocking convenience: build a :class:`ServingSession` for
     ``program``, serve it until interrupted, then shut both down cleanly."""
     serving = (program if isinstance(program, ServingSession)
@@ -360,7 +478,7 @@ def run(program, host="127.0.0.1", port=8273, request_timeout=10.0,
     try:
         asyncio.run(serve(serving, host=host, port=port,
                           request_timeout=request_timeout, readers=readers,
-                          ready=ready))
+                          slow_query_ms=slow_query_ms, ready=ready))
     except KeyboardInterrupt:
         pass
     finally:

@@ -39,11 +39,13 @@ Threading contract:
 from __future__ import annotations
 
 import threading
+import weakref
 
 from collections import deque
 from concurrent.futures import Future
 
 from repro.db.session import DatabaseSession
+from repro.obs.metrics import COUNT_BUCKETS, get_registry
 from repro.hilog.errors import HiLogError
 from repro.hilog.parser import parse_query, parse_term
 from repro.hilog.program import Literal
@@ -79,7 +81,9 @@ class _Op:
     __slots__ = ("kind", "inserts", "retracts", "future")
 
     def __init__(self, kind, inserts=(), retracts=()):
-        self.kind = kind  # "update" | "collect" | "barrier" | "stats"
+        # "update" | "collect" | "barrier" | "stats" | "explain"
+        # (explain ops carry their query atom in the ``inserts`` slot).
+        self.kind = kind
         self.inserts = inserts
         self.retracts = retracts
         self.future = Future()
@@ -260,6 +264,44 @@ class ServingSession:
             target=self._writer_loop, name="repro-serve-writer", daemon=True,
         )
         self._writer.start()
+        self._register_gauges()
+
+    def _register_gauges(self):
+        """Point the process-wide serving gauges at this session.
+
+        Callback gauges close over a weak reference, so the registry (a
+        process-global) never keeps a closed serving session alive; a new
+        session re-registers and simply repoints the callbacks."""
+        ref = weakref.ref(self)
+        registry = get_registry()
+
+        def _pending():
+            serving = ref()
+            return serving.pending() if serving is not None else 0
+
+        def _writer_alive():
+            serving = ref()
+            return 1 if serving is not None and serving.writer_alive else 0
+
+        def _live_epochs():
+            serving = ref()
+            if serving is None:
+                return 0
+            return serving._manager.stats().get("live_epochs", 0)
+
+        registry.gauge(
+            "repro_serve_pending_ops", "Write-queue depth",
+            family="serve", callback=_pending,
+        )
+        registry.gauge(
+            "repro_serve_writer_alive",
+            "1 while the writer thread is running", family="serve",
+            callback=_writer_alive,
+        )
+        registry.gauge(
+            "repro_serve_live_epochs", "Epochs pinned by live readers",
+            family="serve", callback=_live_epochs,
+        )
 
     # -- write side ----------------------------------------------------------
 
@@ -303,6 +345,22 @@ class ServingSession:
         op = _Op("stats")
         self._enqueue(op)
         return op.future.result(timeout)
+
+    def submit_explain(self, fact):
+        """Queue a derivation-provenance explain
+        (:meth:`DatabaseSession.explain`) and return its future.  Explain
+        reads the *writer's* live model (EDB membership and the undefined
+        partition are not epoch state), so it runs as a control op on the
+        writer thread — never racing a batch, exempt from the queue bound
+        like the other control ops."""
+        op = _Op("explain", inserts=fact)
+        self._enqueue(op)
+        return op.future
+
+    def explain(self, fact, timeout=None):
+        """Blocking :meth:`submit_explain`; returns the
+        :class:`~repro.obs.explain.Derivation` tree."""
+        return self.submit_explain(fact).result(timeout)
 
     def _enqueue(self, op):
         with self._cond:
@@ -401,6 +459,15 @@ class ServingSession:
             return
         self._counters["applied_ops"] += len(live)
         self._counters["batches"] += 1
+        registry = get_registry()
+        registry.counter(
+            "repro_serve_batches", "Coalesced writer batches applied",
+            family="serve",
+        ).inc()
+        registry.histogram(
+            "repro_serve_batch_ops", "Submitted ops coalesced per batch",
+            family="serve", buckets=COUNT_BUCKETS,
+        ).observe(len(live))
         for op in live:
             op.resolve(result)
 
@@ -411,6 +478,8 @@ class ServingSession:
                 self._counters["collects"] += 1
             elif op.kind == "stats":
                 result = self._session.stats()
+            elif op.kind == "explain":
+                result = self._session.explain(op.inserts)
             else:  # barrier
                 current = self._manager.current
                 result = current.eid if current is not None else None
@@ -483,6 +552,13 @@ class ServingSession:
         with self._cond:
             return len(self._pending)
 
+    @property
+    def writer_alive(self):
+        """Whether the writer thread is still running.  ``False`` after a
+        clean :meth:`close` — but also when the writer died unexpectedly,
+        which is what the HTTP ``/healthz`` probe exists to catch."""
+        return self._writer.is_alive()
+
     def stats(self):
         """Serving-layer statistics: queue/batch counters, epoch manager
         counters, and the current epoch's size.  Safe to call from any
@@ -494,6 +570,7 @@ class ServingSession:
             info["max_pending"] = self._max_pending
             info["max_batch"] = self._max_batch
             info["closed"] = self._closing
+        info["writer_alive"] = self.writer_alive
         info["epochs"] = self._manager.stats()
         current = self._manager.current
         info["facts"] = len(current) if current is not None else 0

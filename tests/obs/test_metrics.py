@@ -1,0 +1,284 @@
+"""Metrics registry: counters/gauges/histograms, families, exposition."""
+
+import threading
+import weakref
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    MetricsRegistry,
+    get_registry,
+    parse_prometheus_text,
+    set_default_registry,
+    use_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("reqs", "requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("reqs").inc(-1)
+
+    def test_get_or_create_is_stable(self, registry):
+        assert registry.counter("reqs") is registry.counter("reqs")
+
+    def test_labels_are_distinct_series(self, registry):
+        a = registry.counter("reqs", labels={"endpoint": "/a"})
+        b = registry.counter("reqs", labels={"endpoint": "/b"})
+        assert a is not b
+        a.inc()
+        assert a.value == 1 and b.value == 0
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 11
+
+    def test_callback_wins_over_set(self, registry):
+        gauge = registry.gauge("depth", callback=lambda: 42)
+        gauge.set(5)
+        assert gauge.value == 42
+
+    def test_failing_callback_degrades_to_last_set(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.set_callback(lambda: 1 / 0)
+        assert gauge.value == 7
+
+    def test_reregistration_repoints_callback(self, registry):
+        registry.gauge("depth", callback=lambda: 1)
+        gauge = registry.gauge("depth", callback=lambda: 2)
+        assert gauge.value == 2
+
+    def test_weakref_callback_pattern_releases_owner(self, registry):
+        class Owner:
+            def depth(self):
+                return 3
+
+        owner = Owner()
+        ref = weakref.ref(owner)
+
+        def callback(ref=ref):
+            target = ref()
+            return 0 if target is None else target.depth()
+
+        gauge = registry.gauge("depth", callback=callback)
+        assert gauge.value == 3
+        del owner
+        assert ref() is None  # the registry holds no strong reference
+        assert gauge.value == 0
+
+
+class TestHistogram:
+    def test_observe_and_summary(self, registry):
+        histogram = registry.histogram("lat")
+        for value in (0.001, 0.002, 0.004, 0.1):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(0.107)
+        assert 0.001 <= summary["p50"] <= 0.01
+        assert summary["p99"] >= summary["p50"]
+
+    def test_empty_quantile_is_none(self, registry):
+        assert registry.histogram("lat").quantile(0.5) is None
+
+    def test_overflow_clamps_to_top_bucket(self, registry):
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.5) == 2.0
+
+    def test_count_buckets_cover_batch_sizes(self, registry):
+        histogram = registry.histogram("batch", buckets=COUNT_BUCKETS)
+        for size in (1, 3, 1000, 100000):
+            histogram.observe(size)
+        assert histogram.count == 4
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("lat", buckets=(2.0, 1.0))
+
+    def test_default_buckets_span_micro_to_minutes(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] > 100
+
+    def test_memory_is_bounded(self, registry):
+        histogram = registry.histogram("lat")
+        for i in range(10000):
+            histogram.observe(i * 1e-5)
+        assert len(histogram._counts) == len(DEFAULT_BUCKETS) + 1
+
+
+class TestFamilies:
+    def test_disabled_family_returns_null_metric(self, registry):
+        registry.disable("http")
+        assert registry.counter("reqs", family="http") is NULL_METRIC
+        assert registry.histogram("lat", family="http") is NULL_METRIC
+        assert registry.gauge("depth", family="http") is NULL_METRIC
+        # and the null metric absorbs the whole mutation surface
+        NULL_METRIC.inc()
+        NULL_METRIC.observe(1.0)
+        NULL_METRIC.set(2)
+        NULL_METRIC.dec()
+
+    def test_reenable_restores_real_metrics(self, registry):
+        registry.disable("http")
+        registry.enable("http")
+        assert registry.counter("reqs", family="http") is not NULL_METRIC
+        assert registry.enabled("http")
+
+    def test_disabled_family_hidden_from_snapshot(self, registry):
+        registry.counter("reqs", family="http").inc()
+        registry.counter("ups", family="session").inc()
+        registry.disable("http")
+        snapshot = registry.snapshot()
+        assert "ups" in snapshot and "reqs" not in snapshot
+
+
+class TestSnapshot:
+    def test_labels_rendered_into_key(self, registry):
+        registry.counter("reqs", labels={"endpoint": "/q"}).inc(2)
+        assert registry.snapshot() == {'reqs{endpoint="/q"}': 2}
+
+    def test_histogram_snapshots_as_summary(self, registry):
+        registry.histogram("lat").observe(0.5)
+        summary = registry.snapshot()["lat"]
+        assert summary["count"] == 1
+
+
+class TestExposition:
+    def test_render_parse_roundtrip(self, registry):
+        registry.counter("repro_reqs", "requests",
+                         labels={"endpoint": "/q", "status": "200"}).inc(3)
+        registry.gauge("repro_depth", "queue depth").set(2)
+        histogram = registry.histogram("repro_lat", "latency")
+        for value in (0.001, 0.01, 5.0, 1000.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_reqs_total"] == [
+            ({"endpoint": "/q", "status": "200"}, 3.0)
+        ]
+        assert parsed["repro_depth"] == [({}, 2.0)]
+        count = parsed["repro_lat_count"]
+        assert count == [({}, 4.0)]
+        inf_buckets = [v for labels, v in parsed["repro_lat_bucket"]
+                       if labels["le"] == "+Inf"]
+        assert inf_buckets == [4.0]
+
+    def test_counter_total_suffix_not_doubled(self, registry):
+        registry.counter("repro_hits_total").inc()
+        text = registry.render_prometheus()
+        assert "repro_hits_total 1" in text
+        assert "repro_hits_total_total" not in text
+
+    def test_buckets_are_cumulative(self, registry):
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0):
+            histogram.observe(value)
+        parsed = parse_prometheus_text(registry.render_prometheus())
+        by_le = {labels["le"]: v for labels, v in parsed["lat_bucket"]}
+        assert by_le == {"1": 1.0, "2": 2.0, "4": 3.0, "+Inf": 3.0}
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("not a metric line at all!")
+
+    def test_parser_rejects_decreasing_buckets(self):
+        bad = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 5\n'
+            'lat_bucket{le="2"} 3\n'
+            'lat_bucket{le="+Inf"} 5\n'
+            "lat_sum 1\nlat_count 5\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_parser_requires_inf_bucket(self):
+        bad = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="1"} 5\n'
+            "lat_sum 1\nlat_count 5\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_label_escaping_survives_roundtrip(self, registry):
+        registry.counter("c", labels={"path": 'a"b\\c'}).inc()
+        parsed = parse_prometheus_text(registry.render_prometheus())
+        # The parser keeps escapes verbatim; the raw text must stay one
+        # well-formed sample either way.
+        assert len(parsed["c_total"]) == 1
+
+
+class TestRegistryResolution:
+    def test_contextvar_override(self):
+        scoped = MetricsRegistry()
+        default = get_registry()
+        with use_registry(scoped):
+            assert get_registry() is scoped
+        assert get_registry() is default
+
+    def test_set_default_registry_roundtrip(self):
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_default_registry(previous)
+        assert get_registry() is previous
+
+    def test_background_thread_sees_process_default(self):
+        fresh = MetricsRegistry()
+        previous = set_default_registry(fresh)
+        seen = []
+        try:
+            thread = threading.Thread(
+                target=lambda: seen.append(get_registry()))
+            thread.start()
+            thread.join()
+        finally:
+            set_default_registry(previous)
+        assert seen == [fresh]
+
+
+def test_concurrent_increments_do_not_lose_counts(registry):
+    counter = registry.counter("c")
+    histogram = registry.histogram("h")
+
+    def work():
+        for _ in range(1000):
+            counter.inc()
+            histogram.observe(0.01)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 4000
+    assert histogram.count == 4000

@@ -1,0 +1,121 @@
+"""CLI tests: client subcommands against a live server, serve flags."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ServingSession
+from repro.serve.cli import build_parser, main
+
+from test_server import TC_PROGRAM, RunningServer
+
+
+@pytest.fixture
+def server():
+    serving = ServingSession(TC_PROGRAM)
+    running = RunningServer(serving)
+    try:
+        yield running
+    finally:
+        running.stop()
+        serving.close()
+
+
+def _argv(server, *words):
+    host, port = server.address
+    return list(words) + ["--host", host, "--port", str(port)]
+
+
+class TestClientCommands:
+    def test_query(self, server, capsys):
+        assert main(_argv(server, "query", "tc(a, X)")) == 0
+        out = capsys.readouterr().out
+        assert "tc(a, b)" in out and "tc(a, c)" in out
+
+    def test_ask_exit_codes(self, server, capsys):
+        assert main(_argv(server, "ask", "tc(a, c)")) == 0
+        assert main(_argv(server, "ask", "tc(c, a)")) == 1
+
+    def test_explain(self, server, capsys):
+        assert main(_argv(server, "explain", "tc(a, c)")) == 0
+        tree = json.loads(capsys.readouterr().out)
+        assert tree["kind"] == "rule" and tree["atom"] == "tc(a, c)"
+        assert tree["children"]
+
+    def test_explain_bad_atom_exits_with_server_error(self, server):
+        with pytest.raises(SystemExit):
+            main(_argv(server, "explain", "tc(a, X) :- nope"))
+
+    def test_stats(self, server, capsys):
+        assert main(_argv(server, "stats")) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "requests_by_endpoint" in stats
+
+    def test_load(self, server, tmp_path, capsys):
+        facts = tmp_path / "facts.hilog"
+        facts.write_text("e(c, d). e(d, f).")
+        assert main(_argv(server, "load", str(facts))) == 0
+        assert "2 new fact(s)" in capsys.readouterr().out
+        assert main(_argv(server, "ask", "tc(a, f)")) == 0
+
+
+class TestParser:
+    def test_serve_flags(self):
+        args = build_parser().parse_args([
+            "serve", "program.hilog", "--trace-log", "t.jsonl",
+            "--slow-query-ms", "250",
+        ])
+        assert args.trace_log == "t.jsonl"
+        assert args.slow_query_ms == 250.0
+
+    def test_trace_log_defaults_off(self):
+        args = build_parser().parse_args(["serve", "program.hilog"])
+        assert args.trace_log is None
+        assert args.slow_query_ms == 500.0
+
+
+def test_serve_subcommand_with_trace_log(tmp_path):
+    """End to end: serve with --trace-log, explain against it, clean stop."""
+    program = tmp_path / "tc.hilog"
+    program.write_text(TC_PROGRAM)
+    trace = tmp_path / "trace.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "serve", str(program),
+         "--port", "0", "--trace-log", str(trace), "--slow-query-ms", "0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        line = process.stdout.readline()
+        assert "serving" in line, line
+        port = line.split(":")[-1].split()[0].rstrip("/")
+        assert main(["explain", "tc(a, c)", "--port", port]) == 0
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(10)
+    # The tracer flushed structured events (at least the initial load's
+    # evaluation spans and the slow_request entries) to the JSONL sink.
+    deadline = time.time() + 5
+    events = []
+    while time.time() < deadline:
+        if trace.exists():
+            events = [json.loads(entry)
+                      for entry in trace.read_text().splitlines()]
+            if events:
+                break
+        time.sleep(0.05)
+    kinds = {event["kind"] for event in events}
+    assert "stratum" in kinds
+    assert "slow_request" in kinds

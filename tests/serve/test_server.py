@@ -5,11 +5,13 @@ import asyncio
 import http.client
 import json
 import threading
+import urllib.parse
 
 import pytest
 
+from repro.obs.metrics import parse_prometheus_text
 from repro.serve import ServingSession
-from repro.serve.server import serve
+from repro.serve.server import ServeServer, serve
 
 TC_PROGRAM = """
     tc(X, Y) :- e(X, Y).
@@ -21,21 +23,22 @@ TC_PROGRAM = """
 class RunningServer:
     """Runs the asyncio server on a background thread for the tests."""
 
-    def __init__(self, serving, request_timeout=5.0):
+    def __init__(self, serving, request_timeout=5.0, slow_query_ms=500.0):
         self.serving = serving
         self._ready = threading.Event()
         self._loop = None
         self._task = None
         self.address = None
         self._thread = threading.Thread(
-            target=self._run, args=(request_timeout,), daemon=True)
+            target=self._run, args=(request_timeout, slow_query_ms),
+            daemon=True)
         self._thread.start()
         assert self._ready.wait(10), "server did not start"
 
-    def _run(self, request_timeout):
-        asyncio.run(self._main(request_timeout))
+    def _run(self, request_timeout, slow_query_ms):
+        asyncio.run(self._main(request_timeout, slow_query_ms))
 
-    async def _main(self, request_timeout):
+    async def _main(self, request_timeout, slow_query_ms):
         def on_ready(server):
             self.address = server.address
             self._ready.set()
@@ -43,7 +46,7 @@ class RunningServer:
         self._loop = asyncio.get_event_loop()
         self._task = self._loop.create_task(serve(
             self.serving, port=0, request_timeout=request_timeout,
-            ready=on_ready,
+            slow_query_ms=slow_query_ms, ready=on_ready,
         ))
         try:
             await self._task
@@ -76,6 +79,18 @@ class RunningServer:
     def post(self, path, payload, **kwargs):
         return self.request("POST", path, payload, **kwargs)
 
+    def get_raw(self, path):
+        """GET without JSON-decoding: (status, content_type, text)."""
+        conn = http.client.HTTPConnection(*self.address, timeout=10)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return (response.status,
+                    response.getheader("Content-Type", ""),
+                    response.read().decode("utf-8"))
+        finally:
+            conn.close()
+
 
 @pytest.fixture
 def server():
@@ -91,11 +106,16 @@ def server():
 class TestEndpoints:
     def test_healthz_and_stats(self, server):
         status, body, _headers = server.get("/healthz")
-        assert status == 200 and body == {"ok": True}
+        assert status == 200
+        assert body["ok"] is True and body["writer_alive"] is True
+        assert body["closed"] is False and body["pending"] == 0
         status, body, _headers = server.get("/stats")
         assert status == 200
         assert body["epochs"]["published"] >= 1
         assert body["requests"] >= 1
+        assert body["writer_alive"] is True
+        assert body["requests_by_endpoint"]["/healthz"] == 1
+        assert body["slow_queries"] == []
 
     def test_query_ask_value(self, server):
         status, body, _headers = server.post("/query", {"query": "tc(a, X)"})
@@ -202,3 +222,107 @@ class TestEndpoints:
         serving.close()
         with pytest.raises(ConnectionError):
             running.get("/healthz")
+
+
+class TestObservabilityEndpoints:
+    def test_metrics_exposition(self, server):
+        server.post("/query", {"query": "tc(a, X)"})
+        server.post("/insert", {"facts": "e(c, zz)."})
+        status, content_type, text = server.get_raw("/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        parsed = parse_prometheus_text(text)
+        assert "repro_http_requests_total" in parsed
+        assert "repro_http_request_seconds_bucket" in parsed
+        assert "repro_serve_pending_ops" in parsed
+        assert "repro_serve_writer_alive" in parsed
+        query_series = [
+            value for labels, value in parsed["repro_http_requests_total"]
+            if labels.get("endpoint") == "/query"
+            and labels.get("status") == "200"
+        ]
+        assert query_series and query_series[0] >= 1
+
+    def test_metrics_is_get_only(self, server):
+        status, _body, _headers = server.post("/metrics", {"x": "y"})
+        assert status == 405
+
+    def test_explain_true_atom(self, server):
+        path = "/explain?q=" + urllib.parse.quote("tc(a, c)")
+        status, body, _headers = server.get(path)
+        assert status == 200
+        assert body["atom"] == "tc(a, c)"
+        tree = body["explanation"]
+        assert tree["kind"] == "rule" and tree["atom"] == "tc(a, c)"
+        assert any(child["kind"] == "edb" for child in tree["children"])
+
+    def test_explain_false_atom(self, server):
+        path = "/explain?q=" + urllib.parse.quote("tc(c, a)")
+        status, body, _headers = server.get(path)
+        assert status == 200 and body["explanation"]["kind"] == "false"
+
+    def test_explain_reflects_updates(self, server):
+        server.post("/insert", {"facts": "e(c, d)."})
+        status, body, _headers = server.get(
+            "/explain?q=" + urllib.parse.quote("tc(a, d)"))
+        assert status == 200 and body["explanation"]["kind"] == "rule"
+
+    def test_explain_requires_q(self, server):
+        status, body, _headers = server.get("/explain")
+        assert status == 400 and "q" in body["error"]
+
+    def test_explain_bad_atom_maps_to_400(self, server):
+        status, body, _headers = server.get(
+            "/explain?q=" + urllib.parse.quote("tc(a, X) :- nope"))
+        assert status == 400 and "error" in body
+
+    def test_404_collapses_into_other_endpoint_label(self, server):
+        server.get("/definitely/not/an/endpoint")
+        _status, _ct, text = server.get_raw("/metrics")
+        parsed = parse_prometheus_text(text)
+        other = [
+            value for labels, value in parsed["repro_http_requests_total"]
+            if labels.get("endpoint") == "other"
+            and labels.get("status") == "404"
+        ]
+        assert other and other[0] >= 1
+
+
+class TestSlowQueryLog:
+    def test_slow_requests_are_logged_and_bounded(self):
+        serving = ServingSession(TC_PROGRAM)
+        running = RunningServer(serving, slow_query_ms=0.0)
+        try:
+            for _ in range(3):
+                running.post("/query", {"query": "tc(a, X)"})
+            status, body, _headers = running.get("/stats")
+            assert status == 200
+            assert body["slow_query_ms"] == 0.0
+            entries = body["slow_queries"]
+            assert len(entries) >= 3
+            assert all(entry["duration_ms"] >= 0 for entry in entries)
+            assert {entry["path"] for entry in entries} >= {"/query"}
+            assert len(entries) <= ServeServer.SLOW_LOG_CAPACITY
+        finally:
+            running.stop()
+            serving.close()
+
+
+class TestHealthzLiveness:
+    def test_healthz_503_when_session_closed(self):
+        serving = ServingSession(TC_PROGRAM)
+        running = RunningServer(serving)
+        try:
+            status, body, _headers = running.get("/healthz")
+            assert status == 200 and body["ok"] is True
+            # Kill the session under the live server: the probe must flip.
+            serving.close()
+            status, body, _headers = running.get("/healthz")
+            assert status == 503
+            assert body["ok"] is False
+            assert body["closed"] is True
+            assert body["writer_alive"] is False
+        finally:
+            running.stop()
+            serving.close()
