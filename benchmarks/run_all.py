@@ -49,17 +49,20 @@ REPO = os.path.dirname(HERE)
 
 #: The subset exercised by the CI smoke step: the incremental-maintenance
 #: acceptance benchmark, the intern-table memory gate, the well-founded
-#: alternating-fixpoint gate, the concurrent-serving gate and the
-#: observability gate (all fast, all assert their acceptance bars —
-#: speedup, bounded memory, the non-stratified speedup, zero consistency
-#: violations + the writer batching speedup, and the disabled-tracing
-#: overhead bound + a parseable /metrics exposition respectively).
+#: alternating-fixpoint gate, the concurrent-serving gate, the
+#: observability gate and the durability gate (all fast, all assert their
+#: acceptance bars — speedup, bounded memory, the non-stratified speedup,
+#: zero consistency violations + the writer batching speedup, the
+#: disabled-tracing overhead bound + a parseable /metrics exposition, and
+#: the snapshot-recovery speedup + the WAL fsync=batch overhead bound
+#: respectively).
 SMOKE = (
     "bench_e11_incremental.py",
     "bench_e12_memory.py",
     "bench_e13_wellfounded.py",
     "bench_e14_serving.py",
     "bench_e15_observability.py",
+    "bench_e16_durability.py",
 )
 
 

@@ -239,6 +239,20 @@ class DatabaseSession:
             updates, bounding intern memory under fact churn.  ``None``
             (the default) never collects automatically — call
             :meth:`collect` yourself for long-lived serving processes.
+        path: a data directory making the session **durable**: every
+            update batch is written to a CRC32-framed write-ahead log
+            before the call returns, snapshot checkpoints capture the
+            materialized model, and :meth:`DatabaseSession.open` recovers
+            the session after a crash (newest valid snapshot + WAL-tail
+            replay).  The directory must be fresh — reopening an existing
+            one goes through :meth:`open`.  A single-writer lockfile
+            guards the directory (:class:`~repro.hilog.errors.LockHeld`).
+        fsync: WAL durability policy for ``path`` sessions — ``"always"``
+            (fsync per committed batch), ``"batch"`` (default; fsync every
+            64 batches, at checkpoints and on close) or ``"off"``.
+        checkpoint_every: write a snapshot automatically every N logged
+            update batches (``None`` — the default — checkpoints only on
+            demand, at creation and at :meth:`close`).
 
     Every update runs inside an **intern generation**
     (:mod:`repro.hilog.terms`), so the transient terms it builds — parsed
@@ -258,7 +272,9 @@ class DatabaseSession:
     """
 
     def __init__(self, program, strategy="auto", max_facts=1000000,
-                 max_term_depth=None, intern_gc=None):
+                 max_term_depth=None, intern_gc=None, path=None,
+                 fsync="batch", checkpoint_every=None, _manager=None,
+                 _recover=None):
         if strategy not in ("auto", INCREMENTAL, WELLFOUNDED, RECOMPUTE_MODE):
             raise ValueError(
                 "unknown strategy %r (use 'auto', 'incremental', "
@@ -266,6 +282,21 @@ class DatabaseSession:
             )
         if intern_gc is not None and (not isinstance(intern_gc, int) or intern_gc <= 0):
             raise ValueError("intern_gc must be None or a positive integer")
+        if fsync not in ("always", "batch", "off"):
+            raise ValueError(
+                "fsync policy must be 'always', 'batch' or 'off', got %r"
+                % (fsync,)
+            )
+        self._durable = None
+        self._program_text = program if isinstance(program, str) else None
+        if path is not None and _manager is None:
+            from repro.durable.manager import is_initialized
+
+            if is_initialized(path):
+                raise SessionError(
+                    "data directory %r already holds a durable session; "
+                    "recover it with DatabaseSession.open(path)" % (path,)
+                )
         if isinstance(program, str):
             program = parse_program(program)
         self._rules = Program(tuple(program.proper_rules()))
@@ -336,17 +367,32 @@ class DatabaseSession:
         self._active_transaction = None
         self._update_listeners = []
         self._pinned = {}
-        try:
-            self._materialize()
-        except SeminaiveUnsupported:
-            # The mode probe accepted the program but compilation declined
-            # (e.g. an unschedulable rule body): demote to the Figure-1
-            # recompute fallback unless the caller pinned the fast mode.
-            if strategy in (INCREMENTAL, WELLFOUNDED):
-                raise
-            self._mode = RECOMPUTE_MODE
-            self._plans = None
-            self._materialize()
+        if _recover is not None:
+            # Recovered EDB replaces the program file's seed facts — the
+            # snapshot captured the post-churn extensional database.
+            self._edb = set(_recover.edb)
+        if _recover is not None and _recover.store is not None \
+                and _recover.mode == self._mode:
+            # Snapshot restore: the store (with counting-support counts)
+            # and undefined partition drop in directly — no evaluation.
+            self._store = _recover.store
+            self._undefined = _recover.undefined
+        else:
+            # No usable snapshot (or the resolved mode differs from the
+            # snapshot's, making its support counts meaningless):
+            # materialize from the recovered EDB the slow, safe way.
+            try:
+                self._materialize()
+            except SeminaiveUnsupported:
+                # The mode probe accepted the program but compilation
+                # declined (e.g. an unschedulable rule body): demote to the
+                # Figure-1 recompute fallback unless the caller pinned the
+                # fast mode.
+                if strategy in (INCREMENTAL, WELLFOUNDED):
+                    raise
+                self._mode = RECOMPUTE_MODE
+                self._plans = None
+                self._materialize()
         # Registered weakly, and only once construction has succeeded: the
         # registry never keeps the session alive, a dead session's
         # pins/flushes drop out of collection automatically, and a session
@@ -354,6 +400,20 @@ class DatabaseSession:
         # half-built object alive) never participates in collections.
         self._pin_handle = register_pin_provider(self._intern_pin_roots)
         self._flush_handle = register_flush_hook(self._flush_parse_cache)
+        if path is not None or _manager is not None:
+            manager = _manager
+            if manager is None:
+                from repro.durable.manager import DurabilityManager
+
+                manager = DurabilityManager(
+                    path, fsync=fsync, checkpoint_every=checkpoint_every,
+                )
+            try:
+                self._attach_durability(manager, _recover, program)
+            except BaseException:
+                manager.close()
+                self._durable = None
+                raise
 
     # -- materialization ----------------------------------------------------
 
@@ -407,6 +467,132 @@ class DatabaseSession:
             )
             store = RelationStore(model.true)
         self._store = store
+
+    # -- durability ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, strategy="auto", max_facts=1000000,
+             max_term_depth=None, intern_gc=None, fsync="batch",
+             checkpoint_every=None, verify=False):
+        """Recover a durable session from its data directory.
+
+        Loads the newest snapshot that validates (falling back past
+        corrupt ones), replays the committed WAL tail through the
+        maintenance machinery, and returns the live session — holding the
+        directory's single-writer lock (:class:`~repro.hilog.errors.LockHeld`
+        when another session already does).  ``verify=True`` finishes
+        with a full :meth:`check` against a from-scratch recomputation.
+        Recovery provenance (snapshot used, corrupt snapshots skipped,
+        torn-tail bytes truncated, transactions replayed) is available
+        under ``stats()["durability"]``.
+        """
+        from repro.durable.manager import DurabilityManager
+        from repro.durable.recovery import load_latest_state
+        from repro.hilog.errors import DurabilityError
+
+        manager = DurabilityManager(
+            path, fsync=fsync, checkpoint_every=checkpoint_every,
+        )
+        try:
+            if not manager.initialized():
+                raise DurabilityError(
+                    "%r is not a durable session directory (no %s)"
+                    % (path, "program.hilog")
+                )
+            state, corrupt = load_latest_state(manager.directory)
+            manager.recovery["corrupt_snapshots"] = tuple(corrupt)
+            program = state.rules_text if state is not None \
+                else manager.read_program()
+            session = cls(
+                program, strategy=strategy, max_facts=max_facts,
+                max_term_depth=max_term_depth, intern_gc=intern_gc,
+                _manager=manager, _recover=state,
+            )
+        except BaseException:
+            manager.close()
+            raise
+        if verify:
+            session.check()
+        return session
+
+    def _attach_durability(self, manager, state, program):
+        """Wire the durability manager in: persist the program text (fresh
+        directories), open the WAL — truncating any torn tail — replay the
+        committed tail past the snapshot, and leave the directory covered
+        by a checkpoint."""
+        from repro.durable.recovery import replay
+
+        fresh = not manager.initialized()
+        if self._program_text is None:
+            from repro.hilog.pretty import format_program
+
+            self._program_text = format_program(self._full_program())
+        if fresh:
+            manager.write_program(self._program_text)
+        self._durable = manager
+        wal = manager.open_wal()
+        if not fresh:
+            since = state.txn if state is not None else 0
+            manager.recovery["snapshot_txn"] = (
+                state.txn if state is not None else None
+            )
+            batches = [b for b in wal.committed if b.txn > since]
+            manager.suspended = True
+            try:
+                txns, facts = replay(self, batches)
+            finally:
+                manager.suspended = False
+            manager.recovery["replayed_txns"] = txns
+            manager.recovery["replayed_facts"] = facts
+            manager.records_since_checkpoint = txns
+        wal.committed = []
+        if fresh or manager.should_checkpoint():
+            # A fresh directory gets an immediate checkpoint so recovery
+            # never needs a from-scratch rematerialization; a recovered one
+            # re-checkpoints only when the replayed tail already exceeds
+            # the checkpoint interval.
+            self.checkpoint()
+
+    def checkpoint(self, store=None, undefined=None):
+        """Write a snapshot checkpoint now (atomic temp + fsync + rename);
+        returns its path.  ``store``/``undefined`` override the serialized
+        source — the serving layer passes a pinned frozen epoch so
+        checkpointing never blocks concurrent readers; support counts
+        always come from the live store (the two are identical between
+        writer batches, which is when this runs).  Raises
+        :class:`SessionError` for sessions without a data directory."""
+        if self._durable is None:
+            raise SessionError(
+                "session has no data directory (construct with path=... or "
+                "DatabaseSession.open)"
+            )
+        return self._durable.checkpoint(
+            rules_text=self._program_text, mode=self._mode, edb=self._edb,
+            store=self._store if store is None else store,
+            undefined=self._undefined if undefined is None else undefined,
+            supports=self._store._supports,
+        )
+
+    def close(self, checkpoint=True):
+        """Shut a durable session down cleanly: take a final checkpoint
+        (when anything was logged since the last one), fsync and close the
+        WAL, release the directory lock.  Idempotent; a no-op for sessions
+        without a data directory.  The session's in-memory side stays
+        queryable, but further updates raise — reopen with
+        :meth:`DatabaseSession.open`."""
+        durable = self._durable
+        if durable is None or durable.closed:
+            return
+        if checkpoint and durable.records_since_checkpoint:
+            self.checkpoint()
+        durable.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
 
     # -- fact coercion ------------------------------------------------------
 
@@ -646,14 +832,36 @@ class DatabaseSession:
         tracer = current_tracer()
         stats_before = EXECUTION_STATS.snapshot() if tracer is not None else None
         registry = get_registry()
+        # Durable sessions log the batch ahead of the apply (begin + op
+        # frames), then seal it with a commit frame only after the
+        # in-memory maintenance succeeded — replay must never redo a batch
+        # that raised and rolled back.  A crash between the two leaves a
+        # dangling begin, which recovery skips: observably, the batch
+        # never happened and its caller was never acknowledged.
+        durable = self._durable
+        txn = None
+        if durable is not None:
+            if durable.closed:
+                raise SessionError(
+                    "durable session is closed; reopen with "
+                    "DatabaseSession.open(%r)" % durable.directory
+                )
+            if durable.active and (inserts or retracts):
+                txn = durable.log_begin(inserts, retracts)
         try:
             result = self._apply_inner(inserts, retracts)
         except Exception:
+            if txn is not None:
+                durable.log_abort(txn)
             registry.counter(
                 "repro_session_update_failures",
                 "Update batches that raised", family="session",
             ).inc()
             raise
+        if txn is not None:
+            durable.log_commit(txn)
+            if durable.should_checkpoint():
+                self.checkpoint()
         duration = _perf_counter() - started
         registry.counter(
             "repro_session_updates", "Update batches applied",
@@ -982,6 +1190,8 @@ class DatabaseSession:
             intern=intern_table_sizes(),
             updates_since_collect=self._updates_since_collect,
         )
+        if self._durable is not None:
+            info["durability"] = self._durable.stats()
         return info
 
     def recompute_reference(self):

@@ -1,0 +1,98 @@
+"""Crash-point injection for the durability subsystem.
+
+The WAL, snapshot and recovery code paths call :func:`fire` at every
+named point where a real process could die with the disk in a halfway
+state — immediately before/after a WAL append, before an fsync, in the
+middle of a snapshot write, around the snapshot rename, and between
+replayed transactions.  Tests *arm* a point (:func:`arm` or the
+:func:`crash_at` context manager) and the next time execution reaches it
+a :class:`CrashPoint` is raised, simulating the kill.
+
+Whatever bytes were written before the crash point stay on disk — which
+is exactly the state a recovery run must cope with.  The kill-and-recover
+property test (``tests/durable/test_faults_property.py``) drives random
+op streams into a durable session, crashes it at every registered point,
+reopens the directory, and checks the recovered true+undefined partitions
+against a never-crashed oracle.
+
+:class:`CrashPoint` deliberately subclasses :class:`BaseException`: the
+session's disaster-recovery paths catch :class:`Exception` subclasses to
+roll back or rebuild, and a simulated kill must tear straight through
+them the way a real ``SIGKILL`` would.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+#: Every registered crash point, in rough execution order.  The CI crash
+#: matrix iterates this tuple; adding a new ``fire()`` site means adding
+#: its name here so the matrix picks it up.
+FAULT_POINTS = (
+    "wal.pre_append",
+    "wal.post_append",
+    "wal.pre_fsync",
+    "snapshot.mid_write",
+    "snapshot.pre_rename",
+    "snapshot.post_rename",
+    "recovery.mid_replay",
+)
+
+#: point name -> remaining passes before it fires (0 = fire on next hit).
+_armed = {}
+
+
+class CrashPoint(BaseException):
+    """A simulated process kill at a named fault point."""
+
+    def __init__(self, point):
+        super().__init__("simulated crash at fault point %r" % (point,))
+        self.point = point
+
+
+def arm(point, skip=0):
+    """Arm ``point``: the ``skip + 1``-th time execution reaches it, a
+    :class:`CrashPoint` is raised (and the point disarms itself)."""
+    if point not in FAULT_POINTS:
+        raise ValueError("unknown fault point %r (see FAULT_POINTS)" % (point,))
+    if skip < 0:
+        raise ValueError("skip must be >= 0")
+    _armed[point] = skip
+
+
+def disarm(point=None):
+    """Disarm one point (or every point when ``point`` is ``None``)."""
+    if point is None:
+        _armed.clear()
+    else:
+        _armed.pop(point, None)
+
+
+def armed():
+    """The currently armed points as a ``{point: remaining_skips}`` dict."""
+    return dict(_armed)
+
+
+def fire(point):
+    """Crash-point hook: raise :class:`CrashPoint` when ``point`` is armed
+    and its skip count is exhausted.  Near-free when nothing is armed."""
+    if not _armed:
+        return
+    remaining = _armed.get(point)
+    if remaining is None:
+        return
+    if remaining <= 0:
+        del _armed[point]
+        raise CrashPoint(point)
+    _armed[point] = remaining - 1
+
+
+@contextlib.contextmanager
+def crash_at(point, skip=0):
+    """Arm ``point`` for the duration of the block; always disarms on exit
+    (whether or not the crash fired)."""
+    arm(point, skip=skip)
+    try:
+        yield
+    finally:
+        disarm(point)

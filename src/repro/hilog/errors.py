@@ -67,3 +67,56 @@ class FrozenStoreError(HiLogError):
     Snapshot epochs (:mod:`repro.serve`) freeze the stores concurrent
     readers see; any attempt to add or remove facts through a frozen view
     is a bug in the caller, not a recoverable condition."""
+
+
+class DurabilityError(HiLogError):
+    """Base class for the durability subsystem (:mod:`repro.durable`):
+    write-ahead log, snapshot checkpoints and crash recovery."""
+
+
+class CorruptWal(DurabilityError):
+    """A write-ahead log frame failed validation (bad CRC, impossible
+    length, truncated payload).  Recovery does not *raise* this for a torn
+    tail — it truncates at the first bad frame and reports the damage in
+    the recovery details — but direct frame reads and mid-file corruption
+    surface it.
+
+    Attributes:
+        path: the WAL file.
+        offset: byte offset of the first bad frame.
+    """
+
+    def __init__(self, message, path=None, offset=None):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class CorruptSnapshot(DurabilityError):
+    """A snapshot file failed validation (bad magic, CRC mismatch,
+    undecodable body).  Recovery falls back past corrupt snapshots to the
+    newest valid one and reports each casualty in the recovery details.
+
+    Attributes:
+        path: the snapshot file.
+    """
+
+    def __init__(self, message, path=None):
+        super().__init__(message)
+        self.path = path
+
+
+class LockHeld(DurabilityError):
+    """Another live session holds the data directory's single-writer
+    lockfile.  Two writers interleaving WAL appends would corrupt the log,
+    so opening fails fast instead.
+
+    Attributes:
+        path: the lockfile.
+        holder: pid recorded by the holding process, when readable.
+    """
+
+    def __init__(self, message, path=None, holder=None):
+        super().__init__(message)
+        self.path = path
+        self.holder = holder

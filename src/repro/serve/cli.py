@@ -27,7 +27,14 @@
 
 ``serve`` accepts ``--trace-log PATH`` (append structured evaluation
 events as JSON lines while serving) and ``--slow-query-ms N`` (threshold
-for the server's slow-query log).
+for the server's slow-query log).  With ``--data-dir DIR`` the served
+session is durable: updates are write-ahead logged, snapshots checkpoint
+the model (``--checkpoint-every N``, ``--fsync always|batch|off``), and
+restarting with the same directory recovers the exact pre-crash state —
+the program argument is then optional, the directory's persisted program
+wins.  SIGTERM/SIGINT shut the server down gracefully: intake stops, the
+write queue drains, and a durable session takes a final checkpoint before
+the WAL closes.
 
 The client commands talk plain HTTP (:mod:`urllib.request`), so they work
 against any instance of :mod:`repro.serve.server`, local or not.
@@ -82,14 +89,44 @@ def _request(args, path, payload=None, retries=5):
 
 def _cmd_serve(args):
     from repro.serve.server import run
+    from repro.serve.session import ServingSession
 
-    with open(args.program, "r") as handle:
-        program = handle.read()
+    program = None
+    source = args.program
+    if args.data_dir:
+        from repro.db.session import DatabaseSession
+        from repro.durable import is_initialized
+
+        if is_initialized(args.data_dir):
+            # Resume: the directory's persisted program wins; recover from
+            # the newest snapshot + WAL tail and serve the live session.
+            session = DatabaseSession.open(
+                args.data_dir, strategy=args.strategy,
+                intern_gc=args.intern_gc, fsync=args.fsync,
+                checkpoint_every=args.checkpoint_every,
+            )
+            recovery = session.stats()["durability"]
+            print("recovered %s (snapshot txn %s, %d txn(s) replayed)"
+                  % (args.data_dir, recovery["snapshot_txn"],
+                     recovery["replayed_txns"]), flush=True)
+            program = ServingSession(session, max_pending=args.max_pending,
+                                     max_batch=args.max_batch)
+            source = args.data_dir
+        elif args.program is None:
+            raise SystemExit(
+                "%r is not an initialized data directory; a program file "
+                "is required to create it" % args.data_dir
+            )
+    if args.program is None and program is None:
+        raise SystemExit("a program file is required without --data-dir")
+    if program is None:
+        with open(args.program, "r") as handle:
+            program = handle.read()
 
     def ready(server):
         host, port = server.address
         print("serving %s on http://%s:%d (Ctrl-C to stop)"
-              % (args.program, host, port), flush=True)
+              % (source, host, port), flush=True)
 
     tracer = None
     if args.trace_log:
@@ -99,12 +136,19 @@ def _cmd_serve(args):
         # passes land in the same log as the event loop's requests.
         tracer = EvaluationTracer(sink=args.trace_log)
         set_global_tracer(tracer)
+    serving_kwargs = {}
+    if not isinstance(program, ServingSession):
+        serving_kwargs.update(strategy=args.strategy,
+                              intern_gc=args.intern_gc)
+        if args.data_dir:
+            serving_kwargs.update(path=args.data_dir, fsync=args.fsync,
+                                  checkpoint_every=args.checkpoint_every)
     try:
         run(program, host=args.host, port=args.port,
             request_timeout=args.timeout, ready=ready,
             slow_query_ms=args.slow_query_ms,
             max_pending=args.max_pending, max_batch=args.max_batch,
-            strategy=args.strategy, intern_gc=args.intern_gc)
+            **serving_kwargs)
     finally:
         if tracer is not None:
             from repro.obs.trace import set_global_tracer
@@ -174,7 +218,20 @@ def build_parser():
 
     serve_cmd = commands.add_parser("serve", parents=[common],
                                     help="run the HTTP server")
-    serve_cmd.add_argument("program", help="program file to load and serve")
+    serve_cmd.add_argument("program", nargs="?", default=None,
+                           help="program file to load and serve (optional "
+                                "when resuming an initialized --data-dir)")
+    serve_cmd.add_argument("--data-dir", default=None, metavar="DIR",
+                           help="durable data directory: WAL + snapshot "
+                                "checkpoints; resumes the directory when it "
+                                "is already initialized")
+    serve_cmd.add_argument("--fsync", default="batch",
+                           choices=("always", "batch", "off"),
+                           help="WAL fsync policy (with --data-dir)")
+    serve_cmd.add_argument("--checkpoint-every", type=int, default=None,
+                           metavar="N",
+                           help="snapshot every N applied transactions "
+                                "(with --data-dir)")
     serve_cmd.add_argument("--max-pending", type=int, default=1024,
                            help="write-queue bound (backpressure beyond it)")
     serve_cmd.add_argument("--max-batch", type=int, default=64,

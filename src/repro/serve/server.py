@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import time
 import urllib.parse
 
@@ -450,7 +451,14 @@ class ServeServer:
 
 async def serve(serving, host="127.0.0.1", port=8273, request_timeout=10.0,
                 readers=8, slow_query_ms=500.0, ready=None):
-    """Run a server for ``serving`` until cancelled.
+    """Run a server for ``serving`` until cancelled or signalled.
+
+    SIGTERM / SIGINT trigger a graceful shutdown: the listening socket
+    closes first (intake stops), then the caller — :func:`run` — drains
+    the write queue and, for a durable session, takes a final checkpoint
+    and closes the WAL.  Handler installation is best-effort (skipped off
+    the main thread, as in the test harness, where cancellation is the
+    shutdown path instead).
 
     ``ready``, when given, is a callable invoked with the
     :class:`ServeServer` once it is accepting connections (used by the CLI
@@ -461,18 +469,42 @@ async def serve(serving, host="127.0.0.1", port=8273, request_timeout=10.0,
     await server.start()
     if ready is not None:
         ready(server)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, ValueError, RuntimeError, OSError):
+            pass  # non-main thread or unsupported platform
+    forever = asyncio.ensure_future(server.serve_forever())
+    stopper = asyncio.ensure_future(stop.wait())
     try:
-        await server.serve_forever()
-    except asyncio.CancelledError:
-        pass
+        await asyncio.wait(
+            (forever, stopper), return_when=asyncio.FIRST_COMPLETED,
+        )
     finally:
+        for task in (forever, stopper):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for signum in installed:
+            try:
+                loop.remove_signal_handler(signum)
+            except (ValueError, RuntimeError, OSError):
+                pass
         await server.stop()
 
 
 def run(program, host="127.0.0.1", port=8273, request_timeout=10.0,
         readers=8, slow_query_ms=500.0, ready=None, **serving_kwargs):
     """Blocking convenience: build a :class:`ServingSession` for
-    ``program``, serve it until interrupted, then shut both down cleanly."""
+    ``program``, serve it until interrupted or signalled, then shut both
+    down cleanly — queued writes drain, and a durable session gets its
+    final checkpoint and a clean WAL close."""
     serving = (program if isinstance(program, ServingSession)
                else ServingSession(program, **serving_kwargs))
     try:

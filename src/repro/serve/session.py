@@ -81,8 +81,9 @@ class _Op:
     __slots__ = ("kind", "inserts", "retracts", "future")
 
     def __init__(self, kind, inserts=(), retracts=()):
-        # "update" | "collect" | "barrier" | "stats" | "explain"
-        # (explain ops carry their query atom in the ``inserts`` slot).
+        # "update" | "collect" | "barrier" | "stats" | "explain" |
+        # "checkpoint" (explain ops carry their query atom in the
+        # ``inserts`` slot).
         self.kind = kind
         self.inserts = inserts
         self.retracts = retracts
@@ -346,6 +347,19 @@ class ServingSession:
         self._enqueue(op)
         return op.future.result(timeout)
 
+    def checkpoint(self, timeout=None):
+        """Write a durability snapshot (a control op on the writer thread,
+        so it never races a maintenance batch).  The serialized model
+        comes from a **pinned frozen epoch** — the same immutable view
+        readers use — so checkpointing a large model never blocks
+        concurrent readers, and the epoch pin keeps every serialized atom
+        interned should a collect land mid-write.  Returns the snapshot
+        path; raises :class:`~repro.db.session.SessionError` when the
+        wrapped session has no data directory."""
+        op = _Op("checkpoint")
+        self._enqueue(op)
+        return op.future.result(timeout)
+
     def submit_explain(self, fact):
         """Queue a derivation-provenance explain
         (:meth:`DatabaseSession.explain`) and return its future.  Explain
@@ -480,6 +494,8 @@ class ServingSession:
                 result = self._session.stats()
             elif op.kind == "explain":
                 result = self._session.explain(op.inserts)
+            elif op.kind == "checkpoint":
+                result = self._checkpoint_from_epoch()
             else:  # barrier
                 current = self._manager.current
                 result = current.eid if current is not None else None
@@ -487,6 +503,20 @@ class ServingSession:
             op.fail(error)
         else:
             op.resolve(result)
+
+    def _checkpoint_from_epoch(self):
+        """Serialize the durability snapshot from a pinned frozen epoch —
+        the immutable view readers share — so a large checkpoint never
+        holds up the read side, and the pin keeps every serialized atom
+        interned if a collect lands mid-write."""
+        epoch = self._manager.acquire()
+        try:
+            store = epoch.store if epoch is not None else None
+            undefined = epoch.undefined if epoch is not None else None
+            return self._session.checkpoint(store=store, undefined=undefined)
+        finally:
+            if epoch is not None:
+                self._manager.release(epoch)
 
     def _on_update(self, summary):
         """Session update listener — the epoch publication hook.  Runs on
@@ -595,6 +625,9 @@ class ServingSession:
         for op in leftovers:
             op.fail(ServingClosed("serving session closed before this op ran"))
         self._session.remove_update_listener(self._on_update)
+        # A durable wrapped session gets its final checkpoint and a clean
+        # WAL close; a no-op for plain in-memory sessions.
+        self._session.close()
         self._manager.close()
 
     @property

@@ -1,0 +1,75 @@
+"""Regenerate the committed corruption fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/durable/fixtures/make_fixtures.py
+
+The WAL fixtures are JSON-framed and stable across Python versions, so
+they are committed as binaries.  Snapshot fixtures are committed only in
+*corrupt* form (bad magic, bad CRC, truncated): a *valid* snapshot body
+is :mod:`marshal` data, which is not stable across Python versions, and
+every committed snapshot fixture must keep failing validation the same
+way everywhere — which magic/CRC/length checks guarantee.
+"""
+
+import os
+import struct
+import sys
+from zlib import crc32
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "..", "..", "..", "src"))
+
+from repro.durable.snapshot import MAGIC, _TRAILER  # noqa: E402
+from repro.durable.wal import _frame  # noqa: E402
+
+
+def _write(name, data):
+    path = os.path.join(HERE, name)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    print("wrote %s (%d bytes)" % (name, len(data)))
+
+
+def main():
+    committed = (
+        _frame({"t": "begin", "x": 1})
+        + _frame({"t": "ins", "f": ["e(c, d)."]})
+        + _frame({"t": "commit", "x": 1})
+        + _frame({"t": "begin", "x": 2})
+        + _frame({"t": "ins", "f": ["e(d, e)."]})
+        + _frame({"t": "ret", "f": ["e(a, b)."]})
+        + _frame({"t": "commit", "x": 2})
+    )
+    # A torn tail: a dangling begin plus a partial frame, as a crash
+    # mid-append would leave.  Recovery must truncate at the dangling
+    # frames' end... no: the dangling begin is a *valid* frame, so only
+    # the partial frame is cut; the uncommitted txn 3 is skipped.
+    dangling = _frame({"t": "begin", "x": 3})
+    partial = _frame({"t": "ins", "f": ["e(x, y)."]})[:-7]
+    _write("torn_tail.wal", committed + dangling + partial)
+
+    # A bad CRC mid-file: everything after the flipped frame is
+    # unreachable; lenient reads stop there, strict reads raise.
+    frames = committed
+    flip_at = len(_frame({"t": "begin", "x": 1})) + 9
+    mangled = bytearray(frames)
+    mangled[flip_at] ^= 0xFF
+    _write("bad_crc.wal", bytes(mangled))
+
+    # Corrupt snapshots: each must fail validation identically on every
+    # Python version (the checks are pure magic/length/CRC).
+    fake_body = b"this is not a marshal payload"
+    _write("bad_magic.snap",
+           b"XSNAPX\0\n"
+           + _TRAILER.pack(crc32(fake_body) & 0xFFFFFFFF, len(fake_body))
+           + fake_body)
+    _write("bad_crc.snap",
+           MAGIC + _TRAILER.pack(0xDEADBEEF, len(fake_body)) + fake_body)
+    _write("truncated.snap",
+           (MAGIC + _TRAILER.pack(crc32(fake_body) & 0xFFFFFFFF,
+                                  len(fake_body)) + fake_body)[:len(MAGIC) + 4])
+
+
+if __name__ == "__main__":
+    main()

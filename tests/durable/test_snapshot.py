@@ -1,0 +1,132 @@
+"""Snapshot checkpoint unit tests: round-trip fidelity, write atomicity
+under injected crashes, corruption detection and pruning."""
+
+import os
+
+import pytest
+
+from repro.db import DatabaseSession
+from repro.durable.faults import crash_at, CrashPoint
+from repro.durable.snapshot import (
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.hilog.errors import CorruptSnapshot
+
+TC = """
+    e(a, b). e(b, c). e(c, a).
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+"""
+
+WIN_MOVE = """
+    move(a, b). move(b, a). move(c, d).
+    win(X) :- move(X, Y), not win(Y).
+"""
+
+
+def _checkpoint(session, directory, txn=0):
+    return write_snapshot(
+        str(directory), rules_text="%% rules", mode=session.mode, txn=txn,
+        edb=session.edb(), store=session.store,
+        undefined=session.undefined, supports=session.store._supports,
+    )
+
+
+def test_round_trip_preserves_model_and_supports(tmp_path):
+    session = DatabaseSession(TC)
+    path = _checkpoint(session, tmp_path, txn=7)
+
+    state = load_snapshot(path)
+    assert state.txn == 7
+    assert state.mode == session.mode
+    assert state.rules_text == "%% rules"
+    assert state.edb == session.edb()
+    assert set(state.store) == set(session.store)
+    # Hash-consing: restored atoms are the canonical interned objects.
+    for atom in session.store:
+        assert atom in state.store
+    assert dict(state.store._supports) == dict(session.store._supports)
+    assert state.undefined == session.undefined
+
+
+def test_round_trip_preserves_undefined_partition(tmp_path):
+    session = DatabaseSession(WIN_MOVE)
+    assert session.undefined  # the a<->b loop is undefined
+    state = load_snapshot(_checkpoint(session, tmp_path))
+    assert state.undefined == session.undefined
+    assert set(state.store) == set(session.store)
+
+
+def test_crash_mid_write_leaves_old_snapshot_set(tmp_path):
+    session = DatabaseSession(TC)
+    _checkpoint(session, tmp_path, txn=1)
+    for point in ("snapshot.mid_write", "snapshot.pre_rename"):
+        with crash_at(point):
+            with pytest.raises(CrashPoint):
+                _checkpoint(session, tmp_path, txn=2)
+        # The crashed attempt never became visible as a snapshot.
+        assert [txn for txn, _path in list_snapshots(str(tmp_path))] == [1]
+        state = load_snapshot(list_snapshots(str(tmp_path))[0][1])
+        assert state.txn == 1
+    # The interrupted attempts left *.tmp strays; pruning clears them.
+    strays = [n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")]
+    assert strays
+    prune_snapshots(str(tmp_path))
+    assert not [n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")]
+
+
+def test_crash_post_rename_publishes_snapshot(tmp_path):
+    session = DatabaseSession(TC)
+    with crash_at("snapshot.post_rename"):
+        with pytest.raises(CrashPoint):
+            _checkpoint(session, tmp_path, txn=3)
+    (txn, path), = list_snapshots(str(tmp_path))
+    assert txn == 3
+    assert load_snapshot(path).txn == 3
+
+
+@pytest.mark.parametrize("mangle", ["magic", "crc", "truncate", "body"])
+def test_corruption_raises_corrupt_snapshot(tmp_path, mangle):
+    session = DatabaseSession(TC)
+    path = _checkpoint(session, tmp_path)
+    with open(path, "r+b") as handle:
+        if mangle == "magic":
+            handle.write(b"XXXXXXXX")
+        elif mangle == "crc":
+            handle.seek(8)
+            handle.write(b"\xde\xad\xbe\xef")
+        elif mangle == "truncate":
+            handle.truncate(os.path.getsize(path) // 2)
+        else:  # body byte flip
+            handle.seek(40)
+            byte = handle.read(1)
+            handle.seek(40)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+    with pytest.raises(CorruptSnapshot) as info:
+        load_snapshot(path)
+    assert info.value.path == path
+
+
+def test_prune_keeps_newest_two(tmp_path):
+    session = DatabaseSession(TC)
+    for txn in range(5):
+        _checkpoint(session, tmp_path, txn=txn)
+    removed = prune_snapshots(str(tmp_path), keep=2)
+    assert len(removed) == 3
+    assert [txn for txn, _p in list_snapshots(str(tmp_path))] == [4, 3]
+
+
+def test_snapshot_restores_from_frozen_store(tmp_path):
+    # The serving path checkpoints a pinned frozen epoch; freezing must
+    # not change what gets serialized.
+    session = DatabaseSession(TC)
+    frozen = session.store.snapshot()
+    path = write_snapshot(
+        str(tmp_path), rules_text="r", mode=session.mode, txn=0,
+        edb=session.edb(), store=frozen, undefined=session.undefined,
+        supports=session.store._supports,
+    )
+    assert set(load_snapshot(path).store) == set(session.store)
