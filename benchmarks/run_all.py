@@ -53,9 +53,10 @@ REPO = os.path.dirname(HERE)
 #: observability gate and the durability gate (all fast, all assert their
 #: acceptance bars — speedup, bounded memory, the non-stratified speedup,
 #: zero consistency violations + the writer batching speedup, the
-#: disabled-tracing overhead bound + a parseable /metrics exposition, and
-#: the snapshot-recovery speedup + the WAL fsync=batch overhead bound
-#: respectively).
+#: disabled-tracing overhead bound + a parseable /metrics exposition, the
+#: snapshot-recovery speedup + the WAL fsync=batch overhead bound, and the
+#: linter's cost bounds (lint ≤10% of materialization, validated session
+#: open ≤1.1x) respectively).
 SMOKE = (
     "bench_e11_incremental.py",
     "bench_e12_memory.py",
@@ -63,6 +64,7 @@ SMOKE = (
     "bench_e14_serving.py",
     "bench_e15_observability.py",
     "bench_e16_durability.py",
+    "bench_e17_lint.py",
 )
 
 

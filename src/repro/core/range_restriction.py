@@ -22,7 +22,7 @@ paper gives a counterexample showing plain range restriction is not enough).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.hilog.program import Literal, Program, Rule
 from repro.hilog.terms import App, Sym, Term, Var, atom_arguments, predicate_name
@@ -95,6 +95,83 @@ def _name_ordering_exists(rule, seed_variables):
         if not progress:
             return False
     return True
+
+
+class RangeRestrictionViolation(NamedTuple):
+    """One failed condition of Definition 5.5, with the offending parts.
+
+    ``condition`` is ``"head-argument"`` (condition 1: a head argument
+    variable is not bound by any positive body argument),
+    ``"negation"`` (condition 2: a negative literal uses a variable bound
+    neither by positive body arguments nor by the head's name) or
+    ``"name-ordering"`` (condition 3: no ordering of the positive body
+    literals binds a literal's predicate-name variables before it runs).
+    ``variables`` are the unbound variables, sorted by name; ``literal`` is
+    the offending body literal for the per-literal conditions, ``None`` for
+    the head condition.
+    """
+
+    condition: str
+    variables: Tuple[Var, ...]
+    literal: Optional[Literal]
+
+
+def _sorted_vars(variables):
+    return tuple(sorted(variables, key=lambda v: v.name))
+
+
+def range_restriction_violations(rule):
+    """Structured Definition-5.5 violations of a single rule.
+
+    Returns an empty tuple exactly when :func:`rule_is_range_restricted`
+    holds; otherwise one :class:`RangeRestrictionViolation` per failed
+    condition/literal, so diagnostics (:mod:`repro.lint`) can name the
+    unbound variable and the literal instead of reporting a bare boolean.
+    """
+    positive_atoms = _positive_body_atoms(rule)
+    positive_argument_vars = set()
+    for atom in positive_atoms:
+        positive_argument_vars |= _argument_variables(atom)
+    positive_argument_vars = _builtin_bound_variables(rule, positive_argument_vars)
+
+    head_argument_vars = _argument_variables(rule.head)
+    head_name_vars = _name_variables(rule.head)
+
+    violations = []
+    unbound_head = head_argument_vars - positive_argument_vars
+    if unbound_head:
+        violations.append(
+            RangeRestrictionViolation("head-argument", _sorted_vars(unbound_head), None)
+        )
+    for literal in rule.negative_literals():
+        unbound = literal.atom.variables() - (positive_argument_vars | head_name_vars)
+        if unbound:
+            violations.append(
+                RangeRestrictionViolation("negation", _sorted_vars(unbound), literal)
+            )
+    # Condition 3: replay the greedy schedule of `_name_ordering_exists` and
+    # report every literal left unscheduled (greedy completeness makes the
+    # stuck set independent of scheduling order).
+    bound = set(head_name_vars)
+    remaining = [lit for lit in rule.body if lit.positive and not lit.is_builtin()]
+    progress = True
+    while progress and remaining:
+        progress = False
+        for literal in list(remaining):
+            if _name_variables(literal.atom) <= bound:
+                bound |= _argument_variables(literal.atom)
+                remaining.remove(literal)
+                progress = True
+                break
+    for literal in remaining:
+        violations.append(
+            RangeRestrictionViolation(
+                "name-ordering",
+                _sorted_vars(_name_variables(literal.atom) - bound),
+                literal,
+            )
+        )
+    return tuple(violations)
 
 
 def rule_is_range_restricted(rule):

@@ -253,6 +253,13 @@ class DatabaseSession:
         checkpoint_every: write a snapshot automatically every N logged
             update batches (``None`` — the default — checkpoints only on
             demand, at creation and at :meth:`close`).
+        validate: run the :mod:`repro.lint` static analyzer over the
+            program before materialization — ``"off"`` (default; skip),
+            ``"warn"`` (emit a :class:`UserWarning` carrying the report
+            when it is non-empty, then proceed) or ``"strict"`` (raise
+            :class:`~repro.hilog.errors.DiagnosticError` when the report
+            contains *errors*; warnings alone proceed).  Whatever ran is
+            kept on :attr:`diagnostics` and summarized in :meth:`stats`.
 
     Every update runs inside an **intern generation**
     (:mod:`repro.hilog.terms`), so the transient terms it builds — parsed
@@ -273,12 +280,17 @@ class DatabaseSession:
 
     def __init__(self, program, strategy="auto", max_facts=1000000,
                  max_term_depth=None, intern_gc=None, path=None,
-                 fsync="batch", checkpoint_every=None, _manager=None,
-                 _recover=None):
+                 fsync="batch", checkpoint_every=None, validate="off",
+                 _manager=None, _recover=None):
         if strategy not in ("auto", INCREMENTAL, WELLFOUNDED, RECOMPUTE_MODE):
             raise ValueError(
                 "unknown strategy %r (use 'auto', 'incremental', "
                 "'wellfounded' or 'recompute')" % (strategy,)
+            )
+        if validate not in ("strict", "warn", "off"):
+            raise ValueError(
+                "validate must be 'strict', 'warn' or 'off', got %r"
+                % (validate,)
             )
         if intern_gc is not None and (not isinstance(intern_gc, int) or intern_gc <= 0):
             raise ValueError("intern_gc must be None or a positive integer")
@@ -299,6 +311,26 @@ class DatabaseSession:
                 )
         if isinstance(program, str):
             program = parse_program(program)
+        self._diagnostics = None
+        if validate != "off":
+            from repro.lint import lint_program
+
+            report = lint_program(program)
+            self._diagnostics = report
+            if report.has_errors() and validate == "strict":
+                from repro.hilog.errors import DiagnosticError
+
+                raise DiagnosticError(
+                    "program failed strict validation:\n%s" % report.to_text(),
+                    diagnostics=report,
+                )
+            if report and validate == "warn":
+                import warnings as _warnings
+
+                _warnings.warn(
+                    "program validation found issues:\n%s" % report.to_text(),
+                    stacklevel=2,
+                )
         self._rules = Program(tuple(program.proper_rules()))
         self._edb = set()
         for rule in program.facts():
@@ -473,7 +505,7 @@ class DatabaseSession:
     @classmethod
     def open(cls, path, strategy="auto", max_facts=1000000,
              max_term_depth=None, intern_gc=None, fsync="batch",
-             checkpoint_every=None, verify=False):
+             checkpoint_every=None, verify=False, validate="off"):
         """Recover a durable session from its data directory.
 
         Loads the newest snapshot that validates (falling back past
@@ -506,7 +538,7 @@ class DatabaseSession:
             session = cls(
                 program, strategy=strategy, max_facts=max_facts,
                 max_term_depth=max_term_depth, intern_gc=intern_gc,
-                _manager=manager, _recover=state,
+                validate=validate, _manager=manager, _recover=state,
             )
         except BaseException:
             manager.close()
@@ -1166,6 +1198,12 @@ class DatabaseSession:
         return self._mode
 
     @property
+    def diagnostics(self):
+        """The lint report produced at construction, or ``None`` when the
+        session was opened with ``validate="off"``."""
+        return self._diagnostics
+
+    @property
     def store(self):
         """The backing relation store (treat as read-only)."""
         return self._store
@@ -1190,6 +1228,11 @@ class DatabaseSession:
             intern=intern_table_sizes(),
             updates_since_collect=self._updates_since_collect,
         )
+        if self._diagnostics is not None:
+            info["lint"] = {
+                "errors": len(self._diagnostics.errors),
+                "warnings": len(self._diagnostics.warnings),
+            }
         if self._durable is not None:
             info["durability"] = self._durable.stats()
         return info

@@ -89,7 +89,7 @@ class JoinPlan(NamedTuple):
     #: Body indices of positive non-builtin literals (delta-variant sites).
     positive_body_indices: Tuple[int, ...]
     #: The plan lowered to a flat register program (the hot-path executable).
-    registers: "RegisterProgram" = None
+    registers: Optional["RegisterProgram"] = None
 
     def pin_roots(self):
         """Term roots this plan retains, for intern-generation pin sets.

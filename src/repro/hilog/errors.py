@@ -26,6 +26,20 @@ class ParseError(HiLogError):
         self.column = column
 
 
+class DiagnosticError(HiLogError):
+    """Raised when static analysis rejects a program (strict validation).
+
+    Attributes:
+        diagnostics: the :class:`repro.lint.Diagnostics` report that caused
+            the rejection.  The message embeds its human-readable rendering
+            so uncaught errors still cite codes and source spans.
+    """
+
+    def __init__(self, message, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
 class UnificationError(HiLogError):
     """Raised when two terms cannot be unified and the caller asked to raise."""
 

@@ -38,7 +38,7 @@ from repro.hilog.lexer import (
     Token,
     tokenize,
 )
-from repro.hilog.program import AggregateSpec, Literal, Program, Rule
+from repro.hilog.program import AggregateSpec, Literal, Program, Rule, Span
 from repro.hilog.terms import App, Num, Sym, Term, Var, fresh_var, make_list
 
 _COMPARISON_OPS = ("=", "\\=", "<", ">", "=<", ">=", "=:=", "=\\=")
@@ -194,36 +194,39 @@ class _Parser:
     def _parse_body_item(self):
         """Parse one body item: literal, builtin comparison, or aggregate.
 
-        Returns either a :class:`Literal` or an :class:`AggregateSpec`.
+        Returns either a :class:`Literal` or an :class:`AggregateSpec`,
+        carrying the :class:`Span` of its first token.
         """
+        start = self._peek()
+        span = Span(start.line, start.column)
         if (
             self._accept(KIND_PUNCT, "\\+") is not None
             or self._accept(KIND_PUNCT, "~") is not None
         ):
             atom = self.parse_term()
-            return Literal(atom, positive=False)
+            return Literal(atom, positive=False, span=span)
         if self._is_negation_keyword():
             self._advance()
             atom = self.parse_term()
-            return Literal(atom, positive=False)
+            return Literal(atom, positive=False, span=span)
 
         left = self.parse_term()
         token = self._peek()
         if token.kind == KIND_PUNCT and token.value in _COMPARISON_OPS:
             op = self._advance().value
             if op == "=":
-                aggregate = self._try_parse_aggregate(left)
+                aggregate = self._try_parse_aggregate(left, span)
                 if aggregate is not None:
                     return aggregate
             right = self.parse_term()
-            return Literal(App(Sym(op), (left, right)))
+            return Literal(App(Sym(op), (left, right)), span=span)
         if token.kind == KIND_IDENT and token.value == "is" and not token.quoted:
             self._advance()
             right = self.parse_term()
-            return Literal(App(Sym("is"), (left, right)))
-        return Literal(left)
+            return Literal(App(Sym("is"), (left, right)), span=span)
+        return Literal(left, span=span)
 
-    def _try_parse_aggregate(self, result):
+    def _try_parse_aggregate(self, result, span=None):
         """After seeing ``result =``, try to parse ``op(Value : Condition)``.
 
         Returns an :class:`AggregateSpec` or ``None`` (with the token
@@ -248,11 +251,13 @@ class _Parser:
         except ParseError:
             self._pos = saved
             return None
-        return AggregateSpec(op, value, condition, result)
+        return AggregateSpec(op, value, condition, result, span=span)
 
     # -- rules, programs, queries ---------------------------------------------
     def parse_rule(self):
         """Parse one rule (without the trailing full stop)."""
+        start = self._peek()
+        span = Span(start.line, start.column)
         head = self.parse_term()
         body = []
         aggregates = []
@@ -265,7 +270,7 @@ class _Parser:
                     aggregates.append(item)
                 else:
                     body.append(item)
-        return Rule(head, tuple(body), tuple(aggregates))
+        return Rule(head, tuple(body), tuple(aggregates), span=span)
 
     def parse_program(self):
         """Parse a whole program (a sequence of clauses terminated by '.')."""
@@ -292,7 +297,12 @@ class _Parser:
             )
         for item in items:
             if isinstance(item, AggregateSpec):
-                raise ParseError("aggregates are not allowed in queries")
+                span = item.span
+                raise ParseError(
+                    "aggregates are not allowed in queries",
+                    line=span.line if span is not None else None,
+                    column=span.column if span is not None else None,
+                )
         return tuple(items)
 
 

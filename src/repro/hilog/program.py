@@ -17,7 +17,7 @@ ordinary :class:`Literal` objects whose predicate name is one of
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.hilog.terms import (
     App,
@@ -39,17 +39,36 @@ BUILTIN_PREDICATES = frozenset({"=", "\\=", "<", ">", "=<", ">=", "is", "=:=", "
 ARITHMETIC_FUNCTORS = frozenset({"+", "-", "*", "/", "mod", "min", "max"})
 
 
+class Span(NamedTuple):
+    """1-based source position of a parsed construct's first token.
+
+    Parsed rules, literals and aggregate specifications carry a ``span``
+    so downstream tooling (the :mod:`repro.lint` static analyzer above
+    all) can cite ``file:line:column`` instead of pretty-printing the
+    offending object.  Spans are *provenance*, not identity: two
+    alpha-equal rules parsed from different lines compare (and hash)
+    equal, and programmatically built objects simply have ``span=None``.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return "%d:%d" % (self.line, self.column)
+
+
 class Literal:
     """A HiLog literal: an atom or a negated atom."""
 
-    __slots__ = ("atom", "positive", "_hash")
+    __slots__ = ("atom", "positive", "_hash", "span")
 
-    def __init__(self, atom, positive=True):
+    def __init__(self, atom, positive=True, span=None):
         if not isinstance(atom, Term):
             raise TypeError("literal atom must be a Term, got %r" % (atom,))
         object.__setattr__(self, "atom", atom)
         object.__setattr__(self, "positive", bool(positive))
         object.__setattr__(self, "_hash", hash(("lit", atom, bool(positive))))
+        object.__setattr__(self, "span", span)
 
     def __setattr__(self, key, value):
         raise AttributeError("Literal is immutable")
@@ -76,11 +95,11 @@ class Literal:
 
     def negate(self):
         """Return the complementary literal."""
-        return Literal(self.atom, not self.positive)
+        return Literal(self.atom, not self.positive, span=self.span)
 
     def substitute(self, subst):
         """Apply a substitution to the literal's atom."""
-        return Literal(subst.apply(self.atom), self.positive)
+        return Literal(subst.apply(self.atom), self.positive, span=self.span)
 
     def variables(self):
         """Variables occurring anywhere in the literal."""
@@ -108,11 +127,11 @@ class AggregateSpec:
     the rule) is determined at evaluation time.
     """
 
-    __slots__ = ("op", "value", "condition", "result", "_hash")
+    __slots__ = ("op", "value", "condition", "result", "_hash", "span")
 
     SUPPORTED_OPS = ("sum", "count", "min", "max")
 
-    def __init__(self, op, value, condition, result):
+    def __init__(self, op, value, condition, result, span=None):
         if op not in self.SUPPORTED_OPS:
             raise ValueError("unsupported aggregate %r" % (op,))
         if not isinstance(value, Term) or not isinstance(condition, Term) or not isinstance(result, Term):
@@ -122,6 +141,7 @@ class AggregateSpec:
         object.__setattr__(self, "condition", condition)
         object.__setattr__(self, "result", result)
         object.__setattr__(self, "_hash", hash(("agg", op, value, condition, result)))
+        object.__setattr__(self, "span", span)
 
     def __setattr__(self, key, value):
         raise AttributeError("AggregateSpec is immutable")
@@ -160,15 +180,16 @@ class AggregateSpec:
             subst.apply(self.value),
             subst.apply(self.condition),
             subst.apply(self.result),
+            span=self.span,
         )
 
 
 class Rule:
     """A HiLog rule ``head <- body`` (with optional aggregate subgoals)."""
 
-    __slots__ = ("head", "body", "aggregates", "_hash")
+    __slots__ = ("head", "body", "aggregates", "_hash", "span")
 
-    def __init__(self, head, body=(), aggregates=()):
+    def __init__(self, head, body=(), aggregates=(), span=None):
         if not isinstance(head, Term):
             raise TypeError("rule head must be a Term, got %r" % (head,))
         body = tuple(body)
@@ -183,6 +204,7 @@ class Rule:
         object.__setattr__(self, "body", body)
         object.__setattr__(self, "aggregates", aggregates)
         object.__setattr__(self, "_hash", hash(("rule", head, body, aggregates)))
+        object.__setattr__(self, "span", span)
 
     def __setattr__(self, key, value):
         raise AttributeError("Rule is immutable")
@@ -274,6 +296,7 @@ class Rule:
             subst.apply(self.head),
             tuple(literal.substitute(subst) for literal in self.body),
             tuple(aggregate.substitute(subst) for aggregate in self.aggregates),
+            span=self.span,
         )
 
     def rename_apart(self, counter):
@@ -286,7 +309,13 @@ class Rule:
         new_head = rename_variables(self.head, mapping, counter)
         new_body = []
         for literal in self.body:
-            new_body.append(Literal(rename_variables(literal.atom, mapping, counter), literal.positive))
+            new_body.append(
+                Literal(
+                    rename_variables(literal.atom, mapping, counter),
+                    literal.positive,
+                    span=literal.span,
+                )
+            )
         new_aggregates = []
         for aggregate in self.aggregates:
             new_aggregates.append(
@@ -295,9 +324,10 @@ class Rule:
                     rename_variables(aggregate.value, mapping, counter),
                     rename_variables(aggregate.condition, mapping, counter),
                     rename_variables(aggregate.result, mapping, counter),
+                    span=aggregate.span,
                 )
             )
-        return Rule(new_head, tuple(new_body), tuple(new_aggregates))
+        return Rule(new_head, tuple(new_body), tuple(new_aggregates), span=self.span)
 
 
 class Program:

@@ -1,0 +1,45 @@
+"""Static analysis for HiLog programs.
+
+The linter turns the paper's checkable conditions — range restriction
+(Definitions 5.5/5.6), stratification (Section 6), plus plan-level and
+hygiene checks — into structured :class:`Diagnostic` findings with stable
+codes, source spans and fix hints, instead of engine-time exceptions.
+
+Entry points:
+
+* :func:`lint_program` / :func:`lint_source` / :func:`lint_file` — produce
+  a :class:`Diagnostics` report;
+* ``python -m repro.lint`` — the CLI (text/JSON output, code filters,
+  conventional exit codes);
+* ``DatabaseSession(..., validate="strict"|"warn"|"off")`` — load-time
+  validation before materialization (:mod:`repro.db.session`);
+* ``python -m repro.serve lint`` — the serving CLI's subcommand.
+"""
+
+from repro.lint.diagnostics import (
+    CODES,
+    Code,
+    Diagnostic,
+    Diagnostics,
+    REPORT_SCHEMA,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    make_diagnostic,
+    validate_report,
+)
+from repro.lint.linter import lint_file, lint_program, lint_source
+
+__all__ = [
+    "CODES",
+    "Code",
+    "Diagnostic",
+    "Diagnostics",
+    "REPORT_SCHEMA",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "make_diagnostic",
+    "validate_report",
+    "lint_file",
+    "lint_program",
+    "lint_source",
+]

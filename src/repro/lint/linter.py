@@ -1,0 +1,86 @@
+"""Lint entry points: programs, source text, files.
+
+The three entry points produce a :class:`repro.lint.diagnostics.Diagnostics`
+report and record ``repro_lint_*`` metrics (family ``"lint"``) on the
+ambient registry:
+
+* ``repro_lint_runs_total`` — lint invocations;
+* ``repro_lint_errors_total`` / ``repro_lint_warnings_total`` — findings
+  by severity (after ``select``/``ignore`` filtering, i.e. what the caller
+  actually saw);
+* ``repro_lint_seconds`` — wall time per run.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.hilog.errors import ParseError
+from repro.hilog.parser import parse_program
+from repro.hilog.program import Program, Span
+from repro.lint.checks import run_checks
+from repro.lint.diagnostics import Diagnostics, make_diagnostic
+from repro.obs.metrics import get_registry
+
+
+def _record(registry, report, elapsed):
+    registry.counter(
+        "repro_lint_runs", "Lint runs.", family="lint",
+    ).inc()
+    registry.counter(
+        "repro_lint_errors", "Error diagnostics reported.", family="lint",
+    ).inc(len(report.errors))
+    registry.counter(
+        "repro_lint_warnings", "Warning diagnostics reported.", family="lint",
+    ).inc(len(report.warnings))
+    registry.histogram(
+        "repro_lint_seconds", "Lint run wall time.", family="lint",
+    ).observe(elapsed)
+
+
+def lint_program(program, file=None, select=None, ignore=None):
+    """Lint a parsed :class:`~repro.hilog.program.Program`.
+
+    ``file`` stamps every diagnostic's location; ``select``/``ignore`` are
+    iterables of codes, slugs or prefixes (``"E"``, ``"W3"``) filtering the
+    report.  Returns :class:`Diagnostics`.
+    """
+    registry = get_registry()
+    start = perf_counter()
+    findings = run_checks(program)
+    if file is not None:
+        findings = [d._replace(file=file) for d in findings]
+    report = Diagnostics(findings, file=file).filter(select, ignore)
+    _record(registry, report, perf_counter() - start)
+    return report
+
+
+def lint_source(text, file=None, select=None, ignore=None):
+    """Lint HiLog source text.
+
+    A :class:`ParseError` becomes a single ``E001`` diagnostic (carrying
+    the error's line/column) instead of propagating: the CLI and the CI
+    self-lint treat unparsable input as a findable defect, not a crash.
+    """
+    try:
+        program = parse_program(text)
+    except ParseError as error:
+        span = None
+        if error.line is not None:
+            span = Span(error.line, error.column if error.column is not None else 1)
+        registry = get_registry()
+        start = perf_counter()
+        report = Diagnostics(
+            [make_diagnostic("E001", error.message, span=span, file=file)],
+            file=file,
+        ).filter(select, ignore)
+        _record(registry, report, perf_counter() - start)
+        return report
+    return lint_program(program, file=file, select=select, ignore=ignore)
+
+
+def lint_file(path, select=None, ignore=None):
+    """Lint a HiLog source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return lint_source(text, file=str(path), select=select, ignore=ignore)

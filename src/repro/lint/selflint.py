@@ -1,0 +1,205 @@
+"""CI self-lint: the repository's own programs must stay clean.
+
+``python -m repro.lint.selflint`` lints every HiLog program the repository
+ships — the program strings embedded in ``examples/*.py`` and the output
+of every :mod:`repro.workloads` program builder — and holds the result to
+two gates:
+
+* **errors always fail**: no shipped program may trip an ``E...`` code;
+* **warnings are snapshotted**: the exact set of warnings (source, code,
+  line, column) must match ``tests/lint/expected_warnings.json``.  Known,
+  deliberate warnings — the win/move family's negation cycles (``W501``),
+  the parts-explosion aggregate cycle (``W503``) — are recorded there;
+  anything new (or newly fixed) fails the gate until the snapshot is
+  regenerated with ``--update``.
+
+Example programs are discovered syntactically: every string constant in an
+``examples/*.py`` module that parses as a HiLog program with at least one
+proper rule is linted under the name ``examples/<file>:<lineno>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+
+from repro.hilog.errors import ParseError
+from repro.hilog.parser import parse_program
+from repro.lint.linter import lint_program
+
+#: Repository root (this file lives at src/repro/lint/selflint.py).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+SNAPSHOT_PATH = REPO_ROOT / "tests" / "lint" / "expected_warnings.json"
+
+#: Fixed small inputs so the builders (and hence the snapshot) are
+#: deterministic.
+_EDGES = [("a", "b"), ("b", "c"), ("c", "d")]
+_CYCLE = [("a", "b"), ("b", "c"), ("c", "a")]
+
+#: Errors that are the *point* of an example, not defects: the semantics
+#: demo exhibits non-range-restricted programs (paper Examples 4.1 and
+#: 5.1) precisely to show what Definition 5.5 rules out.  Keyed by example
+#: file name (line numbers shift too easily) → allowed error codes.
+DELIBERATE_ERRORS = {
+    "examples/preservation_and_semantics.py": {"E102", "E103"},
+    # The linter demo lints a deliberately defective program.
+    "examples/lint_demo.py": {"E101"},
+}
+
+
+def _deliberate(source, code):
+    base = source.split(":", 1)[0]
+    return code in DELIBERATE_ERRORS.get(base, ())
+
+
+def _workload_programs():
+    """``(name, program)`` for every workloads program builder, on small
+    deterministic inputs."""
+    from repro import workloads as w
+
+    graphs = {"g1": _EDGES, "g2": _CYCLE}
+    triples = {"m": {"assembly": [("whole", "part", 2), ("part", "bolt", 3)]}}
+    yield "workloads:transitive_closure_program", \
+        w.transitive_closure_program(_EDGES)
+    yield "workloads:datahilog_closure_program", \
+        w.datahilog_closure_program(graphs)
+    yield "workloads:hilog_closure_program", w.hilog_closure_program(graphs)
+    yield "workloads:normal_game_program", w.normal_game_program(_CYCLE)
+    yield "workloads:hilog_game_program", w.hilog_game_program(graphs)
+    yield "workloads:datahilog_game_program", w.datahilog_game_program(graphs)
+    yield "workloads:multi_game_program", \
+        w.multi_game_program([_EDGES, _CYCLE])[0]
+    yield "workloads:cycle_game_program", w.cycle_game_program(4)[0]
+    yield "workloads:line_into_cycle_game_program", \
+        w.line_into_cycle_game_program(2, 3)[0]
+    yield "workloads:cycle_with_escape_game_program", \
+        w.cycle_with_escape_game_program(4)[0]
+    yield "workloads:composed_move_game_program", \
+        w.composed_move_game_program(_EDGES)
+    yield "workloads:parts_explosion_program", \
+        w.parts_explosion_program(triples)
+    yield "workloads:bicycle_parts_program", w.bicycle_parts_program()
+    yield "workloads:random_range_restricted_program", \
+        w.random_range_restricted_program(seed=7)
+    yield "workloads:random_nonstratified_program", \
+        w.random_nonstratified_program(seed=7)
+
+
+def _example_programs():
+    """``(name, program)`` for every HiLog program string embedded in
+    ``examples/*.py``."""
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and ":-" in node.value):
+                continue
+            try:
+                program = parse_program(node.value)
+            except ParseError:
+                continue
+            if not any(True for _ in program.proper_rules()):
+                continue
+            yield "examples/%s:%d" % (path.name, node.lineno), program
+
+
+def iter_programs():
+    """Every program the self-lint covers, as ``(name, Program)``."""
+    yield from _example_programs()
+    yield from _workload_programs()
+
+
+def collect():
+    """Lint everything; returns ``(errors, warnings)`` as sorted lists of
+    ``{source, code, line, column}`` dicts."""
+    errors, warnings = [], []
+    for name, program in iter_programs():
+        report = lint_program(program, file=name)
+        for diagnostic in report:
+            entry = {
+                "source": name,
+                "code": diagnostic.code,
+                "line": diagnostic.span.line if diagnostic.span else None,
+                "column": diagnostic.span.column if diagnostic.span else None,
+            }
+            if diagnostic.severity == "error":
+                if _deliberate(name, diagnostic.code):
+                    continue
+                entry["message"] = diagnostic.message
+                errors.append(entry)
+            else:
+                warnings.append(entry)
+    key = lambda e: (e["source"], e["code"], e["line"] or 0, e["column"] or 0)
+    return sorted(errors, key=key), sorted(warnings, key=key)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.selflint",
+        description="Lint the repository's own example and workload "
+                    "programs against the committed warning snapshot.",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite tests/lint/expected_warnings.json with the current "
+             "warnings (errors still fail)",
+    )
+    args = parser.parse_args(argv)
+
+    errors, warnings = collect()
+    if errors:
+        print("self-lint FAILED: shipped programs have lint errors:")
+        for entry in errors:
+            print("  %s: %s at %s:%s — %s" % (
+                entry["source"], entry["code"],
+                entry["line"], entry["column"], entry["message"],
+            ))
+        return 1
+
+    if args.update:
+        SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT_PATH.write_text(
+            json.dumps({"warnings": warnings}, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print("wrote %d expected warning(s) to %s"
+              % (len(warnings), SNAPSHOT_PATH))
+        return 0
+
+    if not SNAPSHOT_PATH.exists():
+        print("self-lint FAILED: no snapshot at %s (run with --update)"
+              % SNAPSHOT_PATH)
+        return 1
+    expected = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))["warnings"]
+
+    def fmt(entry):
+        return "%s: %s at %s:%s" % (
+            entry["source"], entry["code"], entry["line"], entry["column"],
+        )
+
+    expected_set = {fmt(e) for e in expected}
+    actual_set = {fmt(e) for e in warnings}
+    unexpected = sorted(actual_set - expected_set)
+    missing = sorted(expected_set - actual_set)
+    if unexpected or missing:
+        print("self-lint FAILED: warnings diverge from the snapshot "
+              "(%s):" % SNAPSHOT_PATH)
+        for line in unexpected:
+            print("  + %s" % line)
+        for line in missing:
+            print("  - %s" % line)
+        print("(regenerate deliberately with --update)")
+        return 1
+
+    print("self-lint OK: 0 errors, %d expected warning(s) across %d "
+          "program(s)" % (len(warnings), sum(1 for _ in iter_programs())))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

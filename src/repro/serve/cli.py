@@ -25,9 +25,19 @@
 ``stats``
     Print a running server's statistics as JSON.
 
+``lint FILE``
+    Statically analyze program files without serving them — a passthrough
+    to ``python -m repro.lint`` (same flags, same exit codes)::
+
+        python -m repro.serve lint examples/tc.hilog --format json
+
 ``serve`` accepts ``--trace-log PATH`` (append structured evaluation
-events as JSON lines while serving) and ``--slow-query-ms N`` (threshold
-for the server's slow-query log).  With ``--data-dir DIR`` the served
+events as JSON lines while serving), ``--slow-query-ms N`` (threshold
+for the server's slow-query log) and ``--validate MODE`` (run the
+:mod:`repro.lint` static analyzer over the program before serving:
+``warn`` — the default — prints the report and serves anyway, ``strict``
+refuses to start a server on a program with lint *errors*, ``off``
+skips the analyzer).  With ``--data-dir DIR`` the served
 session is durable: updates are write-ahead logged, snapshots checkpoint
 the model (``--checkpoint-every N``, ``--fsync always|batch|off``), and
 restarting with the same directory recovers the exact pre-crash state —
@@ -88,6 +98,7 @@ def _request(args, path, payload=None, retries=5):
 
 
 def _cmd_serve(args):
+    from repro.hilog.errors import DiagnosticError
     from repro.serve.server import run
     from repro.serve.session import ServingSession
 
@@ -100,11 +111,18 @@ def _cmd_serve(args):
         if is_initialized(args.data_dir):
             # Resume: the directory's persisted program wins; recover from
             # the newest snapshot + WAL tail and serve the live session.
-            session = DatabaseSession.open(
-                args.data_dir, strategy=args.strategy,
-                intern_gc=args.intern_gc, fsync=args.fsync,
-                checkpoint_every=args.checkpoint_every,
-            )
+            try:
+                session = DatabaseSession.open(
+                    args.data_dir, strategy=args.strategy,
+                    intern_gc=args.intern_gc, fsync=args.fsync,
+                    checkpoint_every=args.checkpoint_every,
+                    validate=args.validate,
+                )
+            except DiagnosticError as error:
+                raise SystemExit(
+                    "refusing to serve %s under --validate strict:\n%s"
+                    % (args.data_dir, error.diagnostics.to_text())
+                )
             recovery = session.stats()["durability"]
             print("recovered %s (snapshot txn %s, %d txn(s) replayed)"
                   % (args.data_dir, recovery["snapshot_txn"],
@@ -139,7 +157,8 @@ def _cmd_serve(args):
     serving_kwargs = {}
     if not isinstance(program, ServingSession):
         serving_kwargs.update(strategy=args.strategy,
-                              intern_gc=args.intern_gc)
+                              intern_gc=args.intern_gc,
+                              validate=args.validate)
         if args.data_dir:
             serving_kwargs.update(path=args.data_dir, fsync=args.fsync,
                                   checkpoint_every=args.checkpoint_every)
@@ -149,6 +168,11 @@ def _cmd_serve(args):
             slow_query_ms=args.slow_query_ms,
             max_pending=args.max_pending, max_batch=args.max_batch,
             **serving_kwargs)
+    except DiagnosticError as error:
+        raise SystemExit(
+            "refusing to serve %s under --validate strict:\n%s"
+            % (source, error.diagnostics.to_text())
+        )
     finally:
         if tracer is not None:
             from repro.obs.trace import set_global_tracer
@@ -202,6 +226,12 @@ def _cmd_stats(args):
     return 0
 
 
+def _cmd_lint(args):
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -247,6 +277,12 @@ def build_parser():
     serve_cmd.add_argument("--slow-query-ms", type=float, default=500.0,
                            help="log requests slower than this many "
                                 "milliseconds")
+    serve_cmd.add_argument("--validate", default="warn",
+                           choices=("strict", "warn", "off"),
+                           help="lint the program before serving: 'warn' "
+                                "(default) reports and serves anyway, "
+                                "'strict' refuses to start on lint errors, "
+                                "'off' skips the linter")
     serve_cmd.set_defaults(run=_cmd_serve)
 
     query_cmd = commands.add_parser("query", parents=[common],
@@ -276,6 +312,13 @@ def build_parser():
     stats_cmd = commands.add_parser("stats", parents=[common],
                                     help="print server statistics")
     stats_cmd.set_defaults(run=_cmd_stats)
+
+    lint_cmd = commands.add_parser(
+        "lint", add_help=False,
+        help="statically analyze program files (python -m repro.lint)")
+    lint_cmd.add_argument("lint_args", nargs=argparse.REMAINDER,
+                          help="arguments for python -m repro.lint")
+    lint_cmd.set_defaults(run=_cmd_lint)
     return parser
 
 

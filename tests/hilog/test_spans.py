@@ -1,0 +1,112 @@
+"""Source spans: parser-attached positions on rules, literals and
+aggregates, their preservation through the program algebra, and
+line/column information on parse errors."""
+
+import pytest
+
+from repro.hilog.errors import ParseError
+from repro.hilog.parser import parse_program, parse_rule
+from repro.hilog.program import Rule, Span
+from repro.hilog.terms import Sym, Var
+
+
+class TestParserSpans:
+    def test_rule_spans_point_at_rule_starts(self):
+        program = parse_program("e(a, b).\n  tc(X, Y) :- e(X, Y).\n")
+        spans = [rule.span for rule in program.rules]
+        assert spans == [Span(1, 1), Span(2, 3)]
+
+    def test_literal_spans_point_at_body_literals(self):
+        [rule] = parse_program(
+            "tc(X, Z) :- e(X, Y), tc(Y, Z), not cut(X, Z)."
+        ).rules
+        assert [literal.span for literal in rule.body] == [
+            Span(1, 13), Span(1, 22), Span(1, 32),
+        ]
+
+    def test_negated_literal_span_starts_at_not(self):
+        [rule] = parse_program("p(X) :- q(X), not r(X).").rules
+        negated = rule.body[1]
+        assert not negated.positive
+        assert negated.span == Span(1, 15)
+
+    def test_aggregate_span(self):
+        [rule] = parse_program(
+            "total(X, N) :- base(X), N = sum(V : in(X, V))."
+        ).rules
+        [spec] = rule.aggregates
+        assert spec.span == Span(1, 25)
+
+    def test_span_renders_as_line_colon_column(self):
+        assert str(Span(3, 14)) == "3:14"
+
+    def test_multiline_programs_track_lines(self):
+        program = parse_program("a(1).\n\n\nb(X) :- a(X).\n")
+        assert [rule.span for rule in program.rules] == [Span(1, 1), Span(4, 1)]
+
+
+class TestSpanPreservation:
+    def _rule(self):
+        [rule] = parse_program("p(X) :- q(X), not r(X).").rules
+        return rule
+
+    def test_substitute_preserves_spans(self):
+        from repro.hilog.subst import Substitution
+
+        rule = self._rule()
+        ground = rule.substitute(Substitution({Var("X"): Sym("a")}))
+        assert ground.span == rule.span
+        assert [l.span for l in ground.body] == [l.span for l in rule.body]
+
+    def test_rename_apart_preserves_spans(self):
+        rule = self._rule()
+        renamed = rule.rename_apart([0])
+        assert renamed.span == rule.span
+        assert [l.span for l in renamed.body] == [l.span for l in rule.body]
+
+    def test_rename_apart_preserves_aggregate_spans(self):
+        [rule] = parse_program(
+            "total(X, N) :- base(X), N = sum(V : in(X, V))."
+        ).rules
+        renamed = rule.rename_apart([0])
+        assert [a.span for a in renamed.aggregates] == \
+            [a.span for a in rule.aggregates]
+
+    def test_negate_preserves_literal_span(self):
+        rule = self._rule()
+        literal = rule.body[0]
+        assert literal.negate().span == literal.span
+
+    def test_spans_do_not_affect_equality_or_hashing(self):
+        with_span = parse_rule("p(X) :- q(X).")
+        without = Rule(with_span.head, with_span.body)
+        assert without.span is None and with_span.span is not None
+        assert with_span == without
+        assert hash(with_span) == hash(without)
+
+    def test_programmatic_rules_default_to_no_span(self):
+        rule = parse_rule("p(X) :- q(X).")
+        rebuilt = Rule(rule.head, rule.body)
+        assert rebuilt.span is None
+        assert all(l.span is not None for l in rule.body)
+
+
+class TestParseErrorPositions:
+    @pytest.mark.parametrize("text, line", [
+        ("p(a", 1),
+        ("e(a, b).\nq(X) :- ,", 2),
+        ("a(1).\nb(2).\nc :- .", 3),
+    ])
+    def test_parse_errors_carry_line(self, text, line):
+        with pytest.raises(ParseError) as info:
+            parse_program(text)
+        assert info.value.line == line
+        assert info.value.column is not None and info.value.column >= 1
+
+    def test_query_aggregate_rejection_carries_position(self):
+        from repro.hilog.parser import parse_query
+
+        with pytest.raises(ParseError) as info:
+            parse_query("N = sum(V : p(V))")
+        assert info.value.line == 1
+        assert info.value.column is not None

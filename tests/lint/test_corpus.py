@@ -1,0 +1,74 @@
+"""The defect corpus: one program per diagnostic code.
+
+Every ``tests/lint/corpus/*.hilog`` file starts with a header comment
+``% expect: CODE LINE:COL``; the linter must report exactly that code at
+exactly that source position.  The corpus is the regression net for the
+code registry — a check whose span drifts (or stops firing) fails here
+with the file name in the test id.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import CODES, lint_file
+
+CORPUS = Path(__file__).parent / "corpus"
+FILES = sorted(CORPUS.glob("*.hilog"))
+
+EXPECT = re.compile(r"% expect: (\S+) (\d+):(\d+)")
+
+
+def _expectation(path):
+    match = EXPECT.match(path.read_text(encoding="utf-8"))
+    assert match, "%s lacks a '%% expect: CODE LINE:COL' header" % path.name
+    return match.group(1), int(match.group(2)), int(match.group(3))
+
+
+def test_corpus_is_complete():
+    """Every registered code has a corpus program (and E001 means the
+    corpus also exercises the parse-failure path)."""
+    covered = {_expectation(path)[0] for path in FILES}
+    assert covered == set(CODES), (
+        "codes without a corpus program: %s; stale corpus programs: %s"
+        % (sorted(set(CODES) - covered), sorted(covered - set(CODES)))
+    )
+
+
+def test_corpus_has_at_least_twelve_programs():
+    assert len(FILES) >= 12
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_program_fires_expected_code_at_expected_span(path):
+    code, line, column = _expectation(path)
+    report = lint_file(path)
+    hits = [
+        (d.code, d.span.line if d.span else None,
+         d.span.column if d.span else None)
+        for d in report
+    ]
+    assert (code, line, column) in hits, (
+        "%s: expected %s at %d:%d, got %s" % (path.name, code, line, column, hits)
+    )
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_filename_matches_code(path):
+    code, _, _ = _expectation(path)
+    assert path.name.startswith(code.lower() + "_")
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_severity_consistency(path):
+    """Error-corpus files make the report error-bearing; warning-corpus
+    files must not (zero false-positive errors on warning examples)."""
+    code, _, _ = _expectation(path)
+    report = lint_file(path)
+    if code.startswith("E"):
+        assert report.has_errors()
+    else:
+        assert not report.has_errors(), (
+            "%s: unexpected errors %s" % (path.name, [d.code for d in report.errors])
+        )

@@ -1,0 +1,123 @@
+"""Diagnostics data model: code registry, report container, renderers,
+filters, and the JSON schema contract."""
+
+import pytest
+
+from repro.hilog.program import Span
+from repro.lint import (
+    CODES,
+    Diagnostics,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    make_diagnostic,
+    validate_report,
+)
+
+
+class TestCodeRegistry:
+    def test_codes_are_well_formed(self):
+        for code, entry in CODES.items():
+            assert entry.code == code
+            assert code[0] in ("E", "W") and code[1:].isdigit()
+            assert entry.severity == (
+                SEVERITY_ERROR if code.startswith("E") else SEVERITY_WARNING
+            )
+            assert entry.slug and entry.summary
+
+    def test_slugs_are_unique(self):
+        slugs = [entry.slug for entry in CODES.values()]
+        assert len(slugs) == len(set(slugs))
+
+
+class TestDiagnostic:
+    def test_make_derives_severity(self):
+        assert make_diagnostic("E101", "m").severity == SEVERITY_ERROR
+        assert make_diagnostic("W201", "m").severity == SEVERITY_WARNING
+
+    def test_make_rejects_unknown_code(self):
+        with pytest.raises(KeyError):
+            make_diagnostic("E999", "m")
+
+    def test_location(self):
+        d = make_diagnostic("E101", "m", span=Span(3, 7), file="prog.hilog")
+        assert d.location() == "prog.hilog:3:7"
+        assert make_diagnostic("E101", "m").location() == "<program>"
+
+    def test_text_rendering_includes_rule_and_hint(self):
+        d = make_diagnostic("W201", "msg", span=Span(1, 2), rule="p.", hint="use _")
+        text = d.to_text()
+        assert "W201" in text and "singleton-var" in text
+        assert "rule: p." in text and "hint: use _" in text
+
+
+class TestDiagnosticsReport:
+    def _sample(self):
+        return Diagnostics([
+            make_diagnostic("W201", "w", span=Span(5, 1)),
+            make_diagnostic("E101", "e", span=Span(2, 1)),
+            make_diagnostic("W501", "w2", span=Span(2, 9)),
+        ])
+
+    def test_sorted_by_position(self):
+        assert [d.code for d in self._sample()] == ["E101", "W501", "W201"]
+
+    def test_splits_and_truthiness(self):
+        report = self._sample()
+        assert report and len(report) == 3
+        assert [d.code for d in report.errors] == ["E101"]
+        assert {d.code for d in report.warnings} == {"W201", "W501"}
+        assert report.has_errors()
+        assert not Diagnostics()
+        assert not Diagnostics().has_errors()
+
+    def test_add(self):
+        combined = Diagnostics([make_diagnostic("E101", "a")]) + Diagnostics(
+            [make_diagnostic("W201", "b")]
+        )
+        assert {d.code for d in combined} == {"E101", "W201"}
+
+    def test_filter_select_by_code_slug_and_prefix(self):
+        report = self._sample()
+        assert [d.code for d in report.filter(select=["E101"])] == ["E101"]
+        assert [d.code for d in report.filter(select=["singleton-var"])] == ["W201"]
+        assert {d.code for d in report.filter(select=["W"])} == {"W201", "W501"}
+        assert {d.code for d in report.filter(ignore=["W2"])} == {"E101", "W501"}
+
+    def test_filter_unknown_code_raises(self):
+        with pytest.raises(ValueError):
+            self._sample().filter(select=["E987"])
+
+    def test_text_summary_line(self):
+        assert self._sample().to_text().endswith("1 error(s), 2 warning(s)")
+        assert Diagnostics().to_text() == "no issues found"
+
+
+class TestReportSchema:
+    def test_roundtrip_validates(self):
+        report = Diagnostics([
+            make_diagnostic("E101", "e", span=Span(1, 1), file="f", rule="r", hint="h"),
+            make_diagnostic("W201", "w"),
+        ])
+        document = report.to_json()
+        assert validate_report(document) is document
+        assert document["version"] == 1
+        assert document["errors"] == 1 and document["warnings"] == 1
+
+    def test_empty_report_validates(self):
+        validate_report(Diagnostics().to_json())
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda r: r.pop("version"), "missing"),
+        (lambda r: r.update(version=2), "version"),
+        (lambda r: r.update(errors=-1), "non-negative"),
+        (lambda r: r.update(errors=5), "error diagnostics"),
+        (lambda r: r["diagnostics"][0].update(code="E999"), "unknown code"),
+        (lambda r: r["diagnostics"][0].update(severity="warning"), "severity"),
+        (lambda r: r["diagnostics"][0].update(slug="nope"), "slug"),
+        (lambda r: r["diagnostics"][0].update(line=0), "positive"),
+    ])
+    def test_rejects_malformed_documents(self, mutate, message):
+        document = Diagnostics([make_diagnostic("E101", "e", span=Span(1, 1))]).to_json()
+        mutate(document)
+        with pytest.raises(ValueError, match=message):
+            validate_report(document)

@@ -1,0 +1,98 @@
+"""The ``python -m repro.lint`` CLI: exit codes, renderers, filters, and
+the ``repro.serve lint`` passthrough."""
+
+import json
+
+import pytest
+
+from repro.lint import validate_report
+from repro.lint.cli import main as lint_main
+from repro.serve.cli import main as serve_main
+
+CLEAN = "edge(a, b).\ntc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"
+BROKEN = "q(a).\np(X) :- q(Y).\n"
+WARNING_ONLY = "q(a, b).\np(X) :- q(X, Extra).\n"
+
+
+@pytest.fixture
+def programs(tmp_path):
+    paths = {}
+    for name, text in (("clean", CLEAN), ("broken", BROKEN),
+                       ("warn", WARNING_ONLY)):
+        path = tmp_path / ("%s.hilog" % name)
+        path.write_text(text, encoding="utf-8")
+        paths[name] = str(path)
+    return paths
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, programs, capsys):
+        assert lint_main([programs["clean"]]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_warnings_alone_stay_green(self, programs, capsys):
+        assert lint_main([programs["warn"]]) == 0
+        assert "W201" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, programs, capsys):
+        assert lint_main([programs["broken"]]) == 1
+        assert "E101" in capsys.readouterr().out
+
+    def test_parse_failure_is_e001_and_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.hilog"
+        path.write_text("p(a", encoding="utf-8")
+        assert lint_main([str(path)]) == 1
+        assert "E001" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "absent.hilog")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unknown_code_exits_two(self, programs, capsys):
+        assert lint_main([programs["clean"], "--select", "E987"]) == 2
+        assert "unknown diagnostic code" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_document_matches_schema(self, programs, capsys):
+        assert lint_main([programs["broken"], "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        validate_report(document)
+        assert document["errors"] >= 1
+        codes = {d["code"] for d in document["diagnostics"]}
+        assert "E101" in codes
+
+    def test_multiple_files_combine(self, programs, capsys):
+        assert lint_main([programs["clean"], programs["warn"],
+                          "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        validate_report(document)
+        files = {d["file"] for d in document["diagnostics"]}
+        assert files == {programs["warn"]}
+
+
+class TestFilters:
+    def test_ignore_suppresses_the_error_and_exit_goes_green(self, programs, capsys):
+        assert lint_main([programs["broken"], "--ignore", "E101"]) == 0
+
+    def test_select_prefix(self, programs, capsys):
+        assert lint_main([programs["warn"], "--select", "W2",
+                          "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert {d["code"] for d in document["diagnostics"]} == {"W201"}
+
+    def test_comma_separated_and_repeated(self, programs, capsys):
+        code = lint_main([programs["broken"], "--ignore", "E101,W403",
+                          "--ignore", "W401"])
+        assert code == 0
+
+
+class TestServePassthrough:
+    def test_serve_lint_subcommand(self, programs, capsys):
+        assert serve_main(["lint", programs["clean"]]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_serve_lint_forwards_flags_and_exit_codes(self, programs, capsys):
+        assert serve_main(["lint", programs["broken"],
+                           "--format", "json"]) == 1
+        validate_report(json.loads(capsys.readouterr().out))

@@ -1,0 +1,59 @@
+"""The CI self-lint gate over the repository's own programs."""
+
+import json
+
+import pytest
+
+from repro.lint import selflint
+
+
+def test_shipped_programs_have_no_lint_errors():
+    errors, _ = selflint.collect()
+    assert errors == []
+
+
+def test_snapshot_is_committed_and_current(capsys):
+    assert selflint.main([]) == 0
+    assert "self-lint OK" in capsys.readouterr().out
+
+
+def test_covers_examples_and_workloads():
+    names = [name for name, _ in selflint.iter_programs()]
+    assert any(name.startswith("examples/") for name in names)
+    assert any(name.startswith("workloads:") for name in names)
+    assert len(names) >= 20
+
+
+def test_workload_inputs_are_deterministic():
+    first = sorted(selflint.collect()[1], key=repr)
+    second = sorted(selflint.collect()[1], key=repr)
+    assert first == second
+
+
+class TestGateMechanics:
+    @pytest.fixture
+    def snapshot(self, tmp_path, monkeypatch):
+        path = tmp_path / "expected_warnings.json"
+        monkeypatch.setattr(selflint, "SNAPSHOT_PATH", path)
+        return path
+
+    def test_missing_snapshot_fails(self, snapshot, capsys):
+        assert selflint.main([]) == 1
+        assert "no snapshot" in capsys.readouterr().out
+
+    def test_update_writes_then_gate_passes(self, snapshot, capsys):
+        assert selflint.main(["--update"]) == 0
+        assert snapshot.exists()
+        assert selflint.main([]) == 0
+
+    def test_divergence_fails_with_diff(self, snapshot, capsys):
+        selflint.main(["--update"])
+        document = json.loads(snapshot.read_text())
+        document["warnings"].append(
+            {"source": "examples/ghost.py:1", "code": "W201",
+             "line": 1, "column": 1}
+        )
+        snapshot.write_text(json.dumps(document))
+        assert selflint.main([]) == 1
+        out = capsys.readouterr().out
+        assert "- examples/ghost.py:1: W201" in out

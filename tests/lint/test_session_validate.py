@@ -1,0 +1,98 @@
+"""Load-time validation: ``DatabaseSession(validate=...)`` and the serve
+CLI's strict startup rejection."""
+
+import warnings
+
+import pytest
+
+from repro.db.session import DatabaseSession
+from repro.hilog.errors import DiagnosticError
+from repro.serve.session import ServingSession
+
+CLEAN = "edge(a, b). tc(X, Y) :- edge(X, Y). tc(X, Z) :- edge(X, Y), tc(Y, Z)."
+BROKEN = "q(a). p(X) :- q(Y)."
+WARNING_ONLY = "q(a, b). p(X) :- q(X, Extra)."
+
+
+class TestValidateModes:
+    def test_off_is_default_and_skips_linting(self):
+        session = DatabaseSession(WARNING_ONLY)
+        assert session.diagnostics is None
+        assert "lint" not in session.stats()
+
+    def test_off_leaves_unsafe_rules_to_the_engine(self):
+        # Without validation the unsafe rule reaches materialization and
+        # fails there — strict mode turns that into a load-time report.
+        from repro.hilog.errors import GroundingError
+
+        with pytest.raises(GroundingError):
+            DatabaseSession(BROKEN)
+
+    def test_strict_raises_on_errors(self):
+        with pytest.raises(DiagnosticError) as info:
+            DatabaseSession(BROKEN, validate="strict")
+        report = info.value.diagnostics
+        assert report.has_errors()
+        assert "E101" in [d.code for d in report.errors]
+        assert "E101" in str(info.value)
+
+    def test_strict_accepts_clean_programs(self):
+        session = DatabaseSession(CLEAN, validate="strict")
+        assert not session.diagnostics.has_errors()
+        assert session.stats()["lint"] == {"errors": 0, "warnings": 0}
+
+    def test_strict_tolerates_warnings(self):
+        session = DatabaseSession(WARNING_ONLY, validate="strict")
+        assert len(session.diagnostics.warnings) == 1
+
+    def test_warn_emits_user_warning_and_proceeds(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session = DatabaseSession(WARNING_ONLY, validate="warn")
+        assert len(caught) == 1
+        assert "W201" in str(caught[0].message)
+        assert session.value("p(a)") == "true"
+
+    def test_warn_is_silent_on_clean_programs(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DatabaseSession(CLEAN, validate="warn")
+        assert caught == []
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="validate"):
+            DatabaseSession(CLEAN, validate="paranoid")
+
+
+class TestDurableAndServing:
+    def test_open_threads_validate_through_recovery(self, tmp_path):
+        data = str(tmp_path / "data")
+        DatabaseSession(CLEAN, path=data).close()
+        session = DatabaseSession.open(data, validate="strict")
+        try:
+            assert session.diagnostics is not None
+            assert not session.diagnostics.has_errors()
+        finally:
+            session.close()
+
+    def test_serving_session_forwards_validate(self):
+        with pytest.raises(DiagnosticError):
+            ServingSession(BROKEN, validate="strict")
+        serving = ServingSession(CLEAN, validate="strict")
+        try:
+            assert not serving.session.diagnostics.has_errors()
+        finally:
+            serving.close()
+
+
+class TestServeCliStrictStartup:
+    def test_strict_startup_refuses_broken_program(self, tmp_path, capsys):
+        from repro.serve.cli import main as serve_main
+
+        path = tmp_path / "broken.hilog"
+        path.write_text(BROKEN, encoding="utf-8")
+        with pytest.raises(SystemExit) as info:
+            serve_main(["serve", str(path), "--validate", "strict",
+                        "--port", "0"])
+        assert "refusing to serve" in str(info.value)
+        assert "E101" in str(info.value)
